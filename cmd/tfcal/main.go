@@ -1,0 +1,83 @@
+// Command tfcal fits the Table-1 framework profiles against the paper's
+// measured step times (calibration helper; see EXPERIMENTS.md).
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simcluster"
+)
+
+var paper = map[string][4]float64{
+	"Caffe":      {324, 823, 1068, 1935},
+	"Neon":       {87, 211, 320, 270},
+	"Torch":      {81, 268, 529, 470},
+	"TensorFlow": {81, 279, 540, 445},
+}
+
+func main() {
+	models := simcluster.BenchmarkModels()
+	for _, f := range simcluster.BenchmarkFrameworks() {
+		target := paper[f.Name]
+		best := f
+		bestErr := evalErr(models, f, target)
+		// Coordinate descent over the efficiency knobs.
+		for iter := 0; iter < 60; iter++ {
+			improved := false
+			for _, class := range []simcluster.KernelClass{simcluster.ConvBig, simcluster.Conv3, simcluster.Conv1, simcluster.FC} {
+				for _, scale := range []float64{0.85, 0.93, 1.08, 1.18} {
+					cand := clone(best)
+					cand.Eff[class] = clamp(best.Eff[class]*scale, 0.01, 1.0)
+					if e := evalErr(models, cand, target); e < bestErr {
+						best, bestErr = cand, e
+						improved = true
+					}
+				}
+			}
+			for _, scale := range []float64{0.9, 1.1} {
+				cand := clone(best)
+				cand.PerLayerFixed = best.PerLayerFixed * scale
+				if e := evalErr(models, cand, target); e < bestErr {
+					best, bestErr = cand, e
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		fmt.Printf("%-12s err=%.3f eff={big:%.3f c3:%.3f c1:%.3f fc:%.3f} overhead=%.0fus\n",
+			f.Name, bestErr, best.Eff[0], best.Eff[1], best.Eff[2], best.Eff[3], best.PerLayerFixed*1e6)
+		fmt.Printf("   predicted:")
+		for _, m := range models {
+			fmt.Printf(" %.0f", simcluster.StepTime(m, best)*1000)
+		}
+		fmt.Printf("   paper: %v\n", target)
+	}
+}
+
+func clone(f simcluster.FrameworkProfile) simcluster.FrameworkProfile {
+	eff := map[simcluster.KernelClass]float64{}
+	for k, v := range f.Eff {
+		eff[k] = v
+	}
+	alg := map[simcluster.KernelClass]float64{}
+	for k, v := range f.Alg {
+		alg[k] = v
+	}
+	f.Eff, f.Alg = eff, alg
+	return f
+}
+
+func clamp(v, lo, hi float64) float64 { return math.Max(lo, math.Min(hi, v)) }
+
+func evalErr(models []simcluster.ConvModel, f simcluster.FrameworkProfile, target [4]float64) float64 {
+	var e float64
+	for i, m := range models {
+		pred := simcluster.StepTime(m, f) * 1000
+		d := math.Log(pred / target[i])
+		e += d * d
+	}
+	return e
+}

@@ -1,0 +1,71 @@
+// Command tfserver starts one worker task of a distributed cluster over
+// TCP, the counterpart of the reference system's grpc_tensorflow_server:
+// a client process builds a graph, constructs a master against the same
+// cluster spec, and drives training steps; tfserver processes host the
+// devices, execute registered subgraphs, and serve tensor transfers (§3.3,
+// §5).
+//
+// A three-task cluster on one machine:
+//
+//	tfserver -job ps     -task 0 -cluster "ps=:7070;worker=:7071,:7072" &
+//	tfserver -job worker -task 0 -cluster "ps=:7070;worker=:7071,:7072" &
+//	tfserver -job worker -task 1 -cluster "ps=:7070;worker=:7071,:7072" &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/distributed"
+)
+
+func main() {
+	job := flag.String("job", "worker", "job name of this task (e.g. ps, worker)")
+	task := flag.Int("task", 0, "task index within the job")
+	clusterFlag := flag.String("cluster", "", `cluster spec: "job=addr,addr;job=addr"`)
+	flag.Parse()
+
+	spec, err := parseCluster(*clusterFlag)
+	if err != nil {
+		log.Fatalf("tfserver: %v", err)
+	}
+	addr, err := spec.Address(*job, *task)
+	if err != nil {
+		log.Fatalf("tfserver: %v", err)
+	}
+
+	worker := distributed.NewWorker(*job, *task, distributed.TCPResolver(spec))
+	srv, err := distributed.Serve(worker, addr)
+	if err != nil {
+		log.Fatalf("tfserver: %v", err)
+	}
+	log.Printf("tfserver: %s listening on %s", worker.Task(), srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("tfserver: shutting down %s", worker.Task())
+	if err := srv.Close(); err != nil {
+		log.Printf("tfserver: close: %v", err)
+	}
+}
+
+func parseCluster(s string) (distributed.ClusterSpec, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -cluster")
+	}
+	spec := distributed.ClusterSpec{}
+	for _, jobSpec := range strings.Split(s, ";") {
+		parts := strings.SplitN(jobSpec, "=", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return nil, fmt.Errorf("malformed job spec %q", jobSpec)
+		}
+		spec[parts[0]] = strings.Split(parts[1], ",")
+	}
+	return spec, nil
+}

@@ -1,0 +1,116 @@
+// Command tftool inspects the artifacts the runtime produces: checkpoint
+// files (§4.3) and serialized graphs (§3.3).
+//
+//	tftool ckpt <file>            # list tensors in a checkpoint
+//	tftool ckpt <file> <tensor>   # dump one tensor
+//	tftool graph <file>           # summarize a serialized graph
+//	tftool ops                    # list the registered operation set (§5)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/graph"
+	_ "repro/internal/ops"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "ckpt":
+		if len(os.Args) < 3 {
+			usage()
+		}
+		ckpt(os.Args[2], os.Args[3:])
+	case "graph":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		graphInfo(os.Args[2])
+	case "ops":
+		for _, op := range graph.RegisteredOps() {
+			fmt.Println(op)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tftool ckpt <file> [tensor] | tftool graph <file> | tftool ops")
+	os.Exit(2)
+}
+
+func ckpt(path string, rest []string) {
+	tensors, err := checkpoint.Read(path)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	if len(rest) == 1 {
+		t, ok := tensors[rest[0]]
+		if !ok {
+			log.Fatalf("tftool: %s has no tensor %q", path, rest[0])
+		}
+		fmt.Println(t)
+		return
+	}
+	names := make([]string, 0, len(tensors))
+	for n := range tensors {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total int
+	for _, n := range names {
+		t := tensors[n]
+		fmt.Printf("%-40s %-8v %-12v %8d elements\n", n, t.DType(), t.Shape(), t.NumElements())
+		total += t.ByteSize()
+	}
+	fmt.Printf("%d tensors, %d bytes of parameter data\n", len(names), total)
+}
+
+func graphInfo(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	g, err := graph.Unmarshal(data)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	byOp := map[string]int{}
+	byDevice := map[string]int{}
+	for _, n := range g.Nodes() {
+		byOp[n.Op()]++
+		dev := n.Device()
+		if dev == "" {
+			dev = "(unconstrained)"
+		}
+		byDevice[dev]++
+	}
+	fmt.Printf("%d nodes\n\nby op:\n", g.NumNodes())
+	printCounts(byOp)
+	fmt.Println("\nby device:")
+	printCounts(byDevice)
+}
+
+func printCounts(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		fmt.Printf("  %6d  %s\n", m[k], k)
+	}
+}

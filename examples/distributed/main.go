@@ -1,0 +1,176 @@
+// Distributed training: an in-process cluster of 2 PS tasks and 3 workers
+// trains a shared linear model asynchronously (§3.3, Figure 4a). The
+// parameters live on the PS tasks; each worker runs its own client loop,
+// reading the current parameters, computing gradients on its own batches,
+// and applying AssignSub updates — the specialized write of the
+// parameter-server architecture (§2.2) expressed as plain dataflow. A PS
+// task is then restarted mid-training to show the failure model of §4.3.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/distributed"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/tf/nn"
+)
+
+const (
+	features = 2
+	batch    = 16
+	steps    = 60
+	workers  = 3
+	lr       = 0.05
+)
+
+func main() {
+	spec := distributed.ClusterSpec{
+		"ps":     make([]string, 2),
+		"worker": make([]string, workers),
+	}
+	cluster := distributed.NewInProcCluster(spec)
+
+	// One shared graph describes parameters (on the PS tasks) and each
+	// worker's compute subgraph; the master places and partitions it
+	// (§3.3).
+	g := graph.New()
+	w := mustNode(g, "Variable", nil, graph.NodeArgs{
+		Name:   "w",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{features, 1}},
+		Device: "/job:ps/task:0",
+	})
+	b := mustNode(g, "Variable", nil, graph.NodeArgs{
+		Name:   "b",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:1",
+	})
+	wInit := mustNode(g, "Const", nil, graph.NodeArgs{
+		Name: "w_init", Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{features, 1})},
+	})
+	bInit := mustNode(g, "Const", nil, graph.NodeArgs{
+		Name: "b_init", Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{1})},
+	})
+	initW := mustNode(g, "Assign", []graph.Endpoint{w.Out(0), wInit.Out(0)}, graph.NodeArgs{Name: "init_w"})
+	initB := mustNode(g, "Assign", []graph.Endpoint{b.Out(0), bInit.Out(0)}, graph.NodeArgs{Name: "init_b"})
+
+	// Per-worker training subgraphs: compute on the worker, update on the
+	// PS (§3.3: "parameters are distributed among a set of PS tasks").
+	type workerGraph struct {
+		x, y    graph.Endpoint
+		update  []*graph.Node
+		lossOut graph.Endpoint
+	}
+	wgs := make([]workerGraph, workers)
+	for wi := 0; wi < workers; wi++ {
+		dev := distributed.TaskName("worker", wi)
+		suffix := fmt.Sprintf("_%d", wi)
+		x := mustNode(g, "Placeholder", nil, graph.NodeArgs{
+			Name: "x" + suffix, Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{batch, features}},
+		})
+		y := mustNode(g, "Placeholder", nil, graph.NodeArgs{
+			Name: "y" + suffix, Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{batch, 1}},
+		})
+		readW := mustNode(g, "Read", []graph.Endpoint{w.Out(0)}, graph.NodeArgs{Name: "read_w" + suffix})
+		readB := mustNode(g, "Read", []graph.Endpoint{b.Out(0)}, graph.NodeArgs{Name: "read_b" + suffix})
+		pred := mustNode(g, "Add", []graph.Endpoint{
+			mustNode(g, "MatMul", []graph.Endpoint{x.Out(0), readW.Out(0)}, graph.NodeArgs{Name: "mm" + suffix, Device: dev}).Out(0),
+			readB.Out(0),
+		}, graph.NodeArgs{Name: "pred" + suffix, Device: dev})
+		diff := mustNode(g, "Sub", []graph.Endpoint{pred.Out(0), y.Out(0)}, graph.NodeArgs{Name: "diff" + suffix, Device: dev})
+		loss := mustNode(g, "Mean", []graph.Endpoint{
+			mustNode(g, "Square", []graph.Endpoint{diff.Out(0)}, graph.NodeArgs{Name: "sq" + suffix, Device: dev}).Out(0),
+		}, graph.NodeArgs{Name: "loss" + suffix, Device: dev})
+
+		// Manual gradients of MSE: dW = 2/B·xᵀdiff, db = 2/B·Σdiff.
+		scale := mustNode(g, "Const", nil, graph.NodeArgs{
+			Name: "scale" + suffix, Attrs: map[string]any{"value": tensor.Scalar(2 * lr / batch)},
+		})
+		gradW := mustNode(g, "MatMul", []graph.Endpoint{x.Out(0), diff.Out(0)}, graph.NodeArgs{
+			Name: "gw" + suffix, Attrs: map[string]any{"transpose_a": true}, Device: dev,
+		})
+		stepW := mustNode(g, "Mul", []graph.Endpoint{gradW.Out(0), scale.Out(0)}, graph.NodeArgs{Name: "sw" + suffix, Device: dev})
+		gradB := mustNode(g, "Sum", []graph.Endpoint{diff.Out(0)}, graph.NodeArgs{
+			Name: "gb" + suffix, Attrs: map[string]any{"reduction_indices": []int{0}}, Device: dev,
+		})
+		stepB := mustNode(g, "Mul", []graph.Endpoint{gradB.Out(0), scale.Out(0)}, graph.NodeArgs{Name: "sb" + suffix, Device: dev})
+		upW := mustNode(g, "AssignSub", []graph.Endpoint{w.Out(0), stepW.Out(0)}, graph.NodeArgs{Name: "upw" + suffix})
+		upB := mustNode(g, "AssignSub", []graph.Endpoint{b.Out(0), stepB.Out(0)}, graph.NodeArgs{Name: "upb" + suffix})
+		wgs[wi] = workerGraph{
+			x: x.Out(0), y: y.Out(0),
+			update:  []*graph.Node{upW, upB},
+			lossOut: loss.Out(0),
+		}
+	}
+
+	master, err := distributed.NewMaster(g, spec, cluster.Resolver(), distributed.MasterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := master.Run(nil, nil, []*graph.Node{initW, initB}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Each worker drives its own asynchronous training loop (Figure 4a):
+	// no barriers, updates interleave freely.
+	wTrue := []float32{1.5, -2}
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for s := 0; s < steps; s++ {
+				xs, ys := nn.LinearData(int64(wi*1000+s), batch, features, wTrue, 0.5, 0.01)
+				feeds := map[graph.Endpoint]*tensor.Tensor{wgs[wi].x: xs, wgs[wi].y: ys}
+				out, err := master.Run(feeds, []graph.Endpoint{wgs[wi].lossOut}, wgs[wi].update)
+				if err != nil {
+					log.Fatalf("worker %d: %v", wi, err)
+				}
+				if s%20 == 0 {
+					fmt.Printf("worker %d step %2d loss %.5f\n", wi, s, out[0].FloatAt(0))
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	readW := mustNode(g, "Read", []graph.Endpoint{w.Out(0)}, graph.NodeArgs{Name: "final_w"})
+	readB := mustNode(g, "Read", []graph.Endpoint{b.Out(0)}, graph.NodeArgs{Name: "final_b"})
+	out, err := master.Run(nil, []graph.Endpoint{readW.Out(0), readB.Out(0)}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after async training: w = (%.3f, %.3f) want (1.5, -2); b = %.3f want 0.5\n",
+		out[0].FloatAt(0), out[0].FloatAt(1), out[1].FloatAt(0))
+
+	// Failure model (§4.3): restart a PS task; its variables are gone and
+	// a fresh client re-initializes (a real deployment would Restore a
+	// checkpoint instead).
+	fmt.Println("restarting /job:ps/task:0 …")
+	cluster.Workers["/job:ps/task:0"].Reset()
+	if _, err := master.Run(nil, []graph.Endpoint{readW.Out(0)}, nil); err != nil {
+		fmt.Printf("read after restart fails as expected: %v\n", err)
+	}
+	m2, err := distributed.NewMaster(g, spec, cluster.Resolver(), distributed.MasterOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m2.Run(nil, nil, []*graph.Node{initW}); err != nil {
+		log.Fatal(err)
+	}
+	out, err = m2.Run(nil, []graph.Endpoint{readW.Out(0)}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: w re-initialized to (%.1f, %.1f)\n", out[0].FloatAt(0), out[0].FloatAt(1))
+}
+
+func mustNode(g *graph.Graph, op string, ins []graph.Endpoint, args graph.NodeArgs) *graph.Node {
+	n, err := g.AddNode(op, ins, args)
+	if err != nil {
+		log.Fatalf("AddNode(%s): %v", op, err)
+	}
+	return n
+}

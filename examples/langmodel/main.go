@@ -1,0 +1,106 @@
+// Language model: an unrolled LSTM over a Zipf-distributed synthetic corpus
+// with a sharded embedding layer (§4.2, Figure 3) and both softmax variants
+// of §6.4. The embedding and softmax weights are split into shards exactly
+// as a multi-PS deployment would split them, lookups run through
+// DynamicPartition → Gather → DynamicStitch, and gradients flow back as
+// sparse per-shard scatter updates. The example trains with sampled softmax
+// and reports the exact full-softmax loss for comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/tf"
+	"repro/tf/nn"
+	"repro/tf/train"
+)
+
+const (
+	vocab      = 2000
+	embedDim   = 32
+	hidden     = 64
+	batch      = 16
+	unroll     = 4
+	shards     = 4
+	numSampled = 64
+	steps      = 150
+)
+
+func main() {
+	g := tf.NewGraph()
+	g.SetSeed(3)
+
+	emb, err := nn.NewShardedEmbedding(g, "embedding", vocab, embedDim, shards, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cell := nn.NewLSTMCell(g, "lstm", embedDim, hidden)
+	soft, err := nn.NewSoftmaxWeights(g, "softmax", vocab, hidden, shards, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inputs := g.Placeholder("inputs", tf.Int32, tf.Shape{batch, unroll})
+	targets := g.Placeholder("targets", tf.Int32, tf.Shape{batch, unroll})
+
+	// Static unrolling over the sequence (§6.4's LSTM training step).
+	h, c := cell.ZeroState(g, batch)
+	var sampledLosses, fullLosses []tf.Output
+	for s := 0; s < unroll; s++ {
+		ids := g.Squeeze(g.Slice(inputs, []int{0, s}, []int{batch, 1}), 1)
+		tgt := g.Squeeze(g.Slice(targets, []int{0, s}, []int{batch, 1}), 1)
+		x := g.Reshape(emb.Lookup(g, ids), tf.Shape{batch, embedDim})
+		h, c = cell.Step(g, x, h, c)
+		sampledLosses = append(sampledLosses, soft.SampledSoftmaxLoss(g, h, tgt, numSampled))
+		fullLosses = append(fullLosses, soft.FullSoftmaxLoss(g, h, tgt))
+	}
+	inv := g.Const(float32(1.0 / unroll))
+	sampledLoss := g.Mul(g.AddN(sampledLosses...), inv)
+	fullLoss := g.Mul(g.AddN(fullLosses...), inv)
+
+	vars := append(append(emb.Vars(), cell.Vars()...), soft.Vars()...)
+	opt := &train.Adagrad{LearningRate: 0.3}
+	// Train on the sampled estimator — the cheap path of §6.4.
+	trainOp, err := opt.Minimize(g, sampledLoss, vars)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		log.Fatal(err)
+	}
+
+	corpus := nn.ZipfCorpus(11, vocab, 50_000)
+	fmt.Printf("training LSTM LM: vocab %d, %d shards, sampled softmax %d/%d (cost ÷%d)\n",
+		vocab, shards, numSampled, vocab, vocab/numSampled)
+	for step := 0; step < steps; step++ {
+		in, tgt := nn.LMBatch(corpus, step*batch*unroll, batch, unroll)
+		feeds := map[tf.Output]*tf.Tensor{inputs: in, targets: tgt}
+		if step%30 == 0 {
+			out, err := sess.Run(feeds, []tf.Output{sampledLoss, fullLoss}, trainOp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("step %3d  sampled loss %.4f  full loss %.4f\n",
+				step, out[0].FloatAt(0), out[1].FloatAt(0))
+			continue
+		}
+		if _, err := sess.Run(feeds, nil, trainOp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	in, tgt := nn.LMBatch(corpus, 0, batch, unroll)
+	out, err := sess.Run(map[tf.Output]*tf.Tensor{inputs: in, targets: tgt}, []tf.Output{fullLoss})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final full-softmax loss: %.4f (uniform-predictor baseline ln(%d) = %.4f)\n",
+		out[0].FloatAt(0), vocab, math.Log(vocab))
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a dataflow graph, differentiate it, and train a linear
+// model with gradient descent — the smallest end-to-end tour of the
+// execution model: a graph of operations and mutable variables (§3.1),
+// partial execution with feeds and fetches (§3.2), user-level automatic
+// differentiation (§4.1), and a user-level optimizer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tf"
+	"repro/tf/nn"
+	"repro/tf/train"
+)
+
+func main() {
+	const (
+		features = 3
+		batch    = 32
+		steps    = 400
+	)
+	// Ground truth the model must recover: y = x·(2, -1, 0.5) + 0.25.
+	wTrue := []float32{2, -1, 0.5}
+	const bTrue = 0.25
+
+	g := tf.NewGraph()
+	g.SetSeed(42)
+
+	x := g.Placeholder("x", tf.Float32, tf.Shape{batch, features})
+	y := g.Placeholder("y", tf.Float32, tf.Shape{batch, 1})
+
+	w := g.NewVariable("w", g.RandomNormal(tf.Float32, tf.Shape{features, 1}, 0, 0.1))
+	b := g.NewVariableFromTensor("b", tf.Scalar(0))
+
+	pred := g.Add(g.MatMul(x, w.Value()), b.Value())
+	loss := g.Mean(g.Square(g.Sub(pred, y)), nil, false)
+
+	opt := &train.GradientDescent{LearningRate: 0.1}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{w, b})
+	if err != nil {
+		log.Fatalf("building the training step: %v", err)
+	}
+
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		log.Fatal(err)
+	}
+
+	for step := 0; step < steps; step++ {
+		xs, ys := nn.LinearData(int64(step), batch, features, wTrue, bTrue, 0.01)
+		out, err := sess.Run(map[tf.Output]*tf.Tensor{x: xs, y: ys}, []tf.Output{loss}, trainOp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if step%100 == 0 {
+			fmt.Printf("step %3d  loss %.6f\n", step, out[0].FloatAt(0))
+		}
+	}
+
+	wv, err := sess.Fetch1(nil, w.Value())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bv, err := sess.Fetch1(nil, b.Value())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned w = (%.3f, %.3f, %.3f), b = %.3f\n",
+		wv.FloatAt(0), wv.FloatAt(1), wv.FloatAt(2), bv.FloatAt(0))
+	fmt.Printf("true    w = (%.3f, %.3f, %.3f), b = %.3f\n",
+		wTrue[0], wTrue[1], wTrue[2], bTrue)
+}

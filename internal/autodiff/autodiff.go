@@ -1,0 +1,268 @@
+// Package autodiff implements automatic differentiation as a user-level
+// graph-construction library, exactly as the paper describes (§4.1): "the
+// differentiation algorithm performs breadth-first search to identify all
+// of the backwards paths from the target operation to a set of parameters,
+// and sums the partial gradients that each path contributes."
+//
+// Gradients are graph fragments, not runtime magic: each registered
+// gradient function appends ordinary operations to the same graph, so the
+// backward pass is pruned, placed, partitioned and executed like any other
+// subgraph. Gradients of sparse reads (Gather) stay sparse — an
+// (indices, values) pair — so optimizers can apply ScatterAdd-style updates
+// that touch only the gathered rows (§4.2).
+package autodiff
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/build"
+	"repro/internal/graph"
+)
+
+// Grad is one gradient contribution: either a dense tensor endpoint, or a
+// sparse (indices, values) pair equivalent to a dense tensor with NumRows
+// rows that is zero outside the indexed rows.
+type Grad struct {
+	Dense graph.Endpoint
+
+	Indices graph.Endpoint
+	Values  graph.Endpoint
+	NumRows int
+}
+
+// IsZero reports whether the gradient carries no contribution.
+func (g Grad) IsZero() bool { return g.Dense.Node == nil && g.Values.Node == nil }
+
+// IsSparse reports whether the gradient is an (indices, values) pair.
+func (g Grad) IsSparse() bool { return g.Values.Node != nil }
+
+// DenseGrad wraps a dense endpoint.
+func DenseGrad(e graph.Endpoint) Grad { return Grad{Dense: e} }
+
+// Func builds the gradient subgraph for one node: given the gradients
+// flowing into each output, it returns the gradient flowing out of each
+// data input (zero Grads for non-differentiable inputs such as indices).
+type Func func(b *build.B, n *graph.Node, outGrads []Grad) ([]Grad, error)
+
+var (
+	gradMu    sync.RWMutex
+	gradFuncs = map[string]Func{}
+)
+
+// RegisterGradient installs the gradient function for an op type. Like the
+// reference system, users can register specialized gradients (§4.1: "our
+// users frequently specialize the gradients for some operations").
+func RegisterGradient(op string, f Func) {
+	gradMu.Lock()
+	defer gradMu.Unlock()
+	if _, dup := gradFuncs[op]; dup {
+		panic(fmt.Sprintf("autodiff: gradient for %q registered twice", op))
+	}
+	gradFuncs[op] = f
+}
+
+// lookupGradient returns the gradient function for an op type.
+func lookupGradient(op string) (Func, bool) {
+	gradMu.RLock()
+	defer gradMu.RUnlock()
+	f, ok := gradFuncs[op]
+	return f, ok
+}
+
+// Gradients builds ∂sum(ys)/∂xs. gradYs optionally seeds the output
+// gradients (defaults to ones). The result is parallel to xs; entries are
+// zero Grads when y does not depend on x.
+func Gradients(g *graph.Graph, ys, xs []graph.Endpoint, gradYs []graph.Endpoint) ([]Grad, error) {
+	if len(gradYs) != 0 && len(gradYs) != len(ys) {
+		return nil, fmt.Errorf("autodiff: %d gradYs for %d ys", len(gradYs), len(ys))
+	}
+	b := build.New(g).WithScope("gradients")
+
+	// Backward reachability from ys over data edges.
+	backward := map[int]bool{}
+	var stack []*graph.Node
+	for _, y := range ys {
+		if !backward[y.Node.ID()] {
+			backward[y.Node.ID()] = true
+			stack = append(stack, y.Node)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Op() == "StopGradient" || n.Op() == "PreventGradient" {
+			continue
+		}
+		for _, in := range n.Inputs() {
+			if !backward[in.Node.ID()] {
+				backward[in.Node.ID()] = true
+				stack = append(stack, in.Node)
+			}
+		}
+	}
+	// Forward reachability from xs over data edges.
+	forward := map[int]bool{}
+	for _, x := range xs {
+		if !forward[x.Node.ID()] {
+			forward[x.Node.ID()] = true
+			stack = append(stack, x.Node)
+		}
+	}
+	consumers := graph.Consumers(g)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < n.NumOutputs(); i++ {
+			for _, c := range consumers[n.Out(i)] {
+				if !forward[c.Node.ID()] {
+					forward[c.Node.ID()] = true
+					stack = append(stack, c.Node)
+				}
+			}
+		}
+	}
+	// The "between" set: nodes on some path from xs to ys.
+	between := graph.NodeSet{}
+	for id := range backward {
+		if forward[id] {
+			between[id] = true
+		}
+	}
+
+	// Accumulated gradient contributions per endpoint.
+	pending := map[graph.Endpoint][]Grad{}
+	for i, y := range ys {
+		if !between[y.Node.ID()] {
+			continue
+		}
+		if len(gradYs) > 0 {
+			pending[y] = append(pending[y], DenseGrad(gradYs[i]))
+		} else {
+			pending[y] = append(pending[y], DenseGrad(b.OnesLike(y)))
+		}
+	}
+
+	order, err := graph.TopoSort(g, between)
+	if err != nil {
+		return nil, fmt.Errorf("autodiff: %w (differentiating through loops is not supported)", err)
+	}
+
+	// xs may be mid-graph endpoints; capture their sums before their
+	// producers consume the pending entries.
+	xSet := map[graph.Endpoint]bool{}
+	for _, x := range xs {
+		xSet[x] = true
+	}
+	result := map[graph.Endpoint]Grad{}
+
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		outGrads := make([]Grad, n.NumOutputs())
+		any := false
+		for o := 0; o < n.NumOutputs(); o++ {
+			ep := n.Out(o)
+			sum, err := sumGrads(b, pending[ep])
+			if err != nil {
+				return nil, err
+			}
+			outGrads[o] = sum
+			if !sum.IsZero() {
+				any = true
+			}
+			if xSet[ep] {
+				result[ep] = sum
+			}
+			delete(pending, ep)
+		}
+		if !any || n.NumInputs() == 0 {
+			continue
+		}
+		if n.Op() == "StopGradient" || n.Op() == "PreventGradient" {
+			continue
+		}
+		gf, ok := lookupGradient(n.Op())
+		if !ok {
+			return nil, fmt.Errorf("autodiff: no gradient registered for op %s (node %s)", n.Op(), n.Name())
+		}
+		inGrads, err := gf(b, n, outGrads)
+		if err != nil {
+			return nil, fmt.Errorf("autodiff: gradient of %s (%s): %w", n.Name(), n.Op(), err)
+		}
+		if b.Err() != nil {
+			return nil, fmt.Errorf("autodiff: building gradient of %s: %w", n.Name(), b.Err())
+		}
+		if len(inGrads) != n.NumInputs() {
+			return nil, fmt.Errorf("autodiff: gradient of %s returned %d input grads for %d inputs",
+				n.Op(), len(inGrads), n.NumInputs())
+		}
+		for ii, gIn := range inGrads {
+			if gIn.IsZero() {
+				continue
+			}
+			in := n.Input(ii)
+			if !between[in.Node.ID()] {
+				if xSet[in] {
+					pending[in] = append(pending[in], gIn)
+				}
+				continue
+			}
+			pending[in] = append(pending[in], gIn)
+		}
+	}
+
+	out := make([]Grad, len(xs))
+	for i, x := range xs {
+		if gr, ok := result[x]; ok {
+			out[i] = gr
+			continue
+		}
+		sum, err := sumGrads(b, pending[x])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sum
+	}
+	if b.Err() != nil {
+		return nil, b.Err()
+	}
+	return out, nil
+}
+
+// sumGrads combines the contributions of every backward path into one
+// gradient (§4.1: "sums the partial gradients that each path contributes").
+// A single sparse contribution stays sparse; mixtures are densified.
+func sumGrads(b *build.B, grads []Grad) (Grad, error) {
+	switch len(grads) {
+	case 0:
+		return Grad{}, nil
+	case 1:
+		return grads[0], nil
+	}
+	dense := make([]graph.Endpoint, 0, len(grads))
+	for _, g := range grads {
+		if g.IsSparse() {
+			d, err := Densify(b, g)
+			if err != nil {
+				return Grad{}, err
+			}
+			dense = append(dense, d)
+		} else {
+			dense = append(dense, g.Dense)
+		}
+	}
+	return DenseGrad(b.AddN(dense)), nil
+}
+
+// Densify converts a sparse gradient into its dense equivalent with
+// UnsortedSegmentSum, which also folds duplicate indices.
+func Densify(b *build.B, g Grad) (graph.Endpoint, error) {
+	if !g.IsSparse() {
+		return g.Dense, nil
+	}
+	if g.NumRows <= 0 {
+		return graph.Endpoint{}, fmt.Errorf("autodiff: cannot densify sparse gradient with unknown row count")
+	}
+	return b.Op("UnsortedSegmentSum", []graph.Endpoint{g.Values, g.Indices},
+		map[string]any{"num_segments": g.NumRows}), nil
+}

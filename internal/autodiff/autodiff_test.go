@@ -1,0 +1,423 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// gradCheck builds y = fn(x) for a placeholder x, computes dy/dx with
+// Gradients, and compares against central differences at the given point.
+func gradCheck(t *testing.T, name string, shape tensor.Shape, point *tensor.Tensor,
+	fn func(b *build.B, x graph.Endpoint) graph.Endpoint, tol float64) {
+	t.Helper()
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": shape})
+	y := fn(b, x.Out(0))
+	if b.Err() != nil {
+		t.Fatalf("%s: building forward graph: %v", name, b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{y}, []graph.Endpoint{x.Out(0)}, nil)
+	if err != nil {
+		t.Fatalf("%s: Gradients: %v", name, err)
+	}
+	if grads[0].IsZero() {
+		t.Fatalf("%s: got zero gradient", name)
+	}
+	gb := build.New(g)
+	dxEp, err := Densify(gb, grads[0])
+	if err != nil {
+		t.Fatalf("%s: densify: %v", name, err)
+	}
+
+	sess := core.NewSession(g, core.Options{})
+	eval := func(at *tensor.Tensor, ep graph.Endpoint) float64 {
+		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		sum := 0.0
+		for i := 0; i < out[0].NumElements(); i++ {
+			sum += out[0].FloatAt(i)
+		}
+		return sum
+	}
+
+	analytic, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{dxEp}, nil)
+	if err != nil {
+		t.Fatalf("%s: run gradient: %v", name, err)
+	}
+	const eps = 1e-6
+	for i := 0; i < point.NumElements(); i++ {
+		orig := point.FloatAt(i)
+		point.SetFloat(i, orig+eps)
+		up := eval(point, y)
+		point.SetFloat(i, orig-eps)
+		dn := eval(point, y)
+		point.SetFloat(i, orig)
+		numeric := (up - dn) / (2 * eps)
+		got := analytic[0].FloatAt(i)
+		if math.Abs(got-numeric) > tol*(1+math.Abs(numeric)) {
+			t.Errorf("%s: grad[%d] = %g, numeric %g", name, i, got, numeric)
+		}
+	}
+}
+
+func TestGradUnaryOps(t *testing.T) {
+	shape := tensor.Shape{4}
+	pointPos := tensor.FromFloat64s(shape, []float64{0.5, 1.2, 2.0, 0.9})
+	pointAny := tensor.FromFloat64s(shape, []float64{-1.5, 0.7, 2.0, -0.2})
+
+	cases := []struct {
+		name  string
+		point *tensor.Tensor
+		fn    func(b *build.B, x graph.Endpoint) graph.Endpoint
+	}{
+		{"Neg", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Neg(x) }},
+		{"Exp", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Exp", x) }},
+		{"Log", pointPos, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Log", x) }},
+		{"Sqrt", pointPos, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Sqrt", x) }},
+		{"Rsqrt", pointPos, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Rsqrt", x) }},
+		{"Square", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Square", x) }},
+		{"Tanh", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Tanh", x) }},
+		{"Sigmoid", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Sigmoid", x) }},
+		{"Relu", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Relu", x) }},
+		{"Abs", pointAny, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Abs", x) }},
+		{"Reciprocal", pointPos, func(b *build.B, x graph.Endpoint) graph.Endpoint { return b.Op1("Reciprocal", x) }},
+	}
+	for _, c := range cases {
+		gradCheck(t, c.name, shape, c.point.Clone(), c.fn, 1e-4)
+	}
+}
+
+func TestGradBinaryOpsWithBroadcast(t *testing.T) {
+	shape := tensor.Shape{2, 3}
+	point := tensor.FromFloat64s(shape, []float64{0.5, 1.5, 2.5, -0.5, 1.0, 2.0})
+
+	// y = sum(x * c + x / c - x) with c broadcast from a row vector.
+	gradCheck(t, "MulAddDivBroadcast", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		c := b.Const(tensor.FromFloat64s(tensor.Shape{3}, []float64{2, 3, 4}))
+		return b.Sub(b.Add(b.Mul(x, c), b.Div(x, c)), x)
+	}, 1e-4)
+
+	// Broadcast in the other direction: scalar x column.
+	gradCheck(t, "SubScalar", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Sub(x, b.Scalar(tensor.Float64, 1.5))
+	}, 1e-4)
+
+	// Note: no element of `point` equals 1, so the min/max subgradient at
+	// ties (where both sides receive gradient) is not exercised here.
+	gradCheck(t, "MaximumMinimum", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		one := b.Scalar(tensor.Float64, 0.9)
+		return b.Add(b.Op2("Maximum", x, one), b.Op2("Minimum", x, one))
+	}, 1e-4)
+
+	gradCheck(t, "SquaredDifference", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		c := b.Const(tensor.FromFloat64s(tensor.Shape{3}, []float64{1, 2, 3}))
+		return b.Op2("SquaredDifference", x, c)
+	}, 1e-4)
+
+	gradCheck(t, "Pow", tensor.Shape{3}, tensor.FromFloat64s(tensor.Shape{3}, []float64{0.5, 1.5, 2.5}),
+		func(b *build.B, x graph.Endpoint) graph.Endpoint {
+			return b.Op2("Pow", x, b.Scalar(tensor.Float64, 3))
+		}, 1e-4)
+}
+
+func TestGradMatMulChain(t *testing.T) {
+	shape := tensor.Shape{2, 3}
+	point := tensor.FromFloat64s(shape, []float64{0.1, -0.4, 0.7, 1.1, 0.3, -0.9})
+	w := tensor.FromFloat64s(tensor.Shape{3, 2}, []float64{1, 2, -1, 0.5, 0.25, -0.75})
+	gradCheck(t, "MatMul", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.MatMul(x, b.Const(w), false, false)
+	}, 1e-4)
+	gradCheck(t, "MatMulTransposed", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		wt := b.Const(tensor.FromFloat64s(tensor.Shape{2, 3}, []float64{1, -1, 0.25, 2, 0.5, -0.75}))
+		return b.MatMul(x, wt, false, true)
+	}, 1e-4)
+	gradCheck(t, "MatMulTransposeA", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		w2 := b.Const(tensor.FromFloat64s(tensor.Shape{2, 2}, []float64{1, 0.5, -0.5, 2}))
+		return b.MatMul(x, w2, true, false) // xᵀ [3,2] × w2 [2,2]
+	}, 1e-4)
+}
+
+func TestGradReductions(t *testing.T) {
+	shape := tensor.Shape{2, 3}
+	point := tensor.FromFloat64s(shape, []float64{1, 2, 3, 4, 5, 6})
+	gradCheck(t, "SumAll", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Sum(x, nil, false)
+	}, 1e-4)
+	gradCheck(t, "SumAxis", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Mul(b.Sum(x, []int{1}, false), b.Const(tensor.FromFloat64s(tensor.Shape{2}, []float64{2, 3})))
+	}, 1e-4)
+	gradCheck(t, "MeanAll", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Mean(x, nil, false)
+	}, 1e-4)
+	gradCheck(t, "MeanAxisKeep", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Mul(b.Mean(x, []int{0}, true), b.Const(tensor.FromFloat64s(tensor.Shape{1, 3}, []float64{1, 2, 3})))
+	}, 1e-4)
+	gradCheck(t, "L2Loss", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Op1("L2Loss", x)
+	}, 1e-4)
+}
+
+func TestGradShapeOps(t *testing.T) {
+	shape := tensor.Shape{2, 3}
+	point := tensor.FromFloat64s(shape, []float64{1, -2, 3, -4, 5, -6})
+	gradCheck(t, "ReshapeTranspose", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		r := b.ReshapeTo(x, tensor.Shape{3, 2})
+		tr := b.Transpose(r, nil)
+		return b.Mul(tr, b.Const(tensor.FromFloat64s(tensor.Shape{2, 3}, []float64{1, 2, 3, 4, 5, 6})))
+	}, 1e-4)
+	gradCheck(t, "ConcatSplit", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		c := b.Const(tensor.FromFloat64s(tensor.Shape{2, 2}, []float64{10, 20, 30, 40}))
+		cat := b.Concat([]graph.Endpoint{x, c}, 1) // [2,5]
+		return b.Mul(cat, cat)
+	}, 1e-4)
+	gradCheck(t, "SlicePad", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		sl := b.Op("Slice", []graph.Endpoint{x}, map[string]any{"begin": []int{0, 1}, "size": []int{2, 2}})
+		pd := b.Op("Pad", []graph.Endpoint{sl}, map[string]any{"paddings": []int{1, 0, 0, 1}})
+		return b.Mul(pd, pd)
+	}, 1e-4)
+	gradCheck(t, "PackUnpack", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		un := b.Node("Unpack", []graph.Endpoint{x}, "", nil)
+		packed := b.Op("Pack", []graph.Endpoint{un.Out(1), un.Out(0)}, nil)
+		return b.Mul(packed, packed)
+	}, 1e-4)
+}
+
+func TestGradSoftmaxAndCrossEntropy(t *testing.T) {
+	shape := tensor.Shape{2, 4}
+	point := tensor.FromFloat64s(shape, []float64{1, 2, 0.5, -1, 0, 0.25, -0.5, 1.5})
+	gradCheck(t, "Softmax", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		sm := b.Op1("Softmax", x)
+		// weight rows so the gradient is not trivially zero
+		w := b.Const(tensor.FromFloat64s(shape, []float64{1, 2, 3, 4, 4, 3, 2, 1}))
+		return b.Mul(sm, w)
+	}, 1e-3)
+	gradCheck(t, "SoftmaxCrossEntropy", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		labels := b.Const(tensor.FromFloat64s(shape, []float64{1, 0, 0, 0, 0, 0.5, 0.5, 0}))
+		n := b.Node("SoftmaxCrossEntropyWithLogits", []graph.Endpoint{x, labels}, "", nil)
+		return n.Out(0)
+	}, 1e-3)
+	gradCheck(t, "SparseSoftmaxCrossEntropy", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		labels := b.Const(tensor.FromInt32s(tensor.Shape{2}, []int32{0, 3}))
+		n := b.Node("SparseSoftmaxCrossEntropyWithLogits", []graph.Endpoint{x, labels}, "", nil)
+		return n.Out(0)
+	}, 1e-3)
+}
+
+func TestGradGatherIsSparse(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	params := b.Node("Placeholder", nil, "p", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{5, 2}})
+	idx := b.Const(tensor.FromInt32s(tensor.Shape{3}, []int32{4, 0, 4}))
+	gathered := b.Gather(params.Out(0), idx)
+	loss := b.Sum(b.Mul(gathered, gathered), nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{params.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grads[0].IsSparse() {
+		t.Fatal("Gather gradient should be sparse (§4.2)")
+	}
+	if grads[0].NumRows != 5 {
+		t.Errorf("sparse NumRows = %d, want 5", grads[0].NumRows)
+	}
+	// Densified sparse gradient must match numeric gradient: row 4 used
+	// twice, rows 1..3 untouched.
+	gb := build.New(g)
+	denseEp, err := Densify(gb, grads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.FromFloat64s(tensor.Shape{5, 2}, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{params.Out(0): point}, []graph.Endpoint{denseEp}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := out[0]
+	// d/dp sum(gather(p)²) = 2p per gathered occurrence.
+	want := []float64{2, 4, 0, 0, 0, 0, 0, 0, 36, 40} // row0 ×1, row4 ×2
+	for i, w := range want {
+		if math.Abs(dg.FloatAt(i)-w) > 1e-9 {
+			t.Errorf("dense grad[%d] = %g, want %g", i, dg.FloatAt(i), w)
+		}
+	}
+}
+
+func TestGradDynamicPartitionStitchRoundTrip(t *testing.T) {
+	shape := tensor.Shape{4, 2}
+	point := tensor.FromFloat64s(shape, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	gradCheck(t, "PartitionStitch", shape, point.Clone(), func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		labels := b.Const(tensor.FromInt32s(tensor.Shape{4}, []int32{1, 0, 1, 0}))
+		parts := b.Node("DynamicPartition", []graph.Endpoint{x, labels}, "", map[string]any{"num_partitions": 2})
+		w0 := b.Const(tensor.FromFloat64s(tensor.Shape{1, 2}, []float64{2, 3}))
+		p0 := b.Mul(parts.Out(0), w0)
+		p1 := b.Mul(parts.Out(1), b.Scalar(tensor.Float64, 5))
+		return b.Add(b.Sum(p0, nil, false), b.Sum(p1, nil, false))
+	}, 1e-4)
+}
+
+func TestGradConvAndPool(t *testing.T) {
+	// float32 kernels: use float32 placeholder and coarser tolerance.
+	g := graph.New()
+	b := build.New(g)
+	shape := tensor.Shape{1, 4, 4, 1}
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float32, "shape": shape})
+	filter := b.Const(func() *tensor.Tensor {
+		return tensor.NewRNG(7).Uniform(tensor.Float32, tensor.Shape{3, 3, 1, 2}, -1, 1)
+	}())
+	conv := b.Op("Conv2D", []graph.Endpoint{x.Out(0), filter}, map[string]any{"strides": []int{1, 1}, "padding": "VALID"})
+	pool := b.Op("MaxPool", []graph.Endpoint{conv}, map[string]any{"ksize": []int{2, 2}, "strides": []int{1, 1}, "padding": "VALID"})
+	loss := b.Sum(pool, nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{x.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.NewRNG(3).Uniform(tensor.Float32, shape, -1, 1)
+	run := func(at *tensor.Tensor, ep graph.Endpoint) float64 {
+		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].FloatAt(0)
+	}
+	analytic, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{grads[0].Dense}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-2
+	for i := 0; i < point.NumElements(); i++ {
+		orig := point.FloatAt(i)
+		point.SetFloat(i, orig+eps)
+		up := run(point, loss)
+		point.SetFloat(i, orig-eps)
+		dn := run(point, loss)
+		point.SetFloat(i, orig)
+		numeric := (up - dn) / (2 * eps)
+		if math.Abs(analytic[0].FloatAt(i)-numeric) > 5e-2 {
+			t.Errorf("conv grad[%d] = %g, numeric %g", i, analytic[0].FloatAt(i), numeric)
+		}
+	}
+}
+
+func TestGradMultiplePathsAreSummed(t *testing.T) {
+	// y = x*x + x*3: dy/dx = 2x + 3, exercising per-path accumulation
+	// (§4.1 "sums the partial gradients that each path contributes").
+	shape := tensor.Shape{3}
+	point := tensor.FromFloat64s(shape, []float64{1, 2, 3})
+	gradCheck(t, "MultiPath", shape, point, func(b *build.B, x graph.Endpoint) graph.Endpoint {
+		return b.Add(b.Mul(x, x), b.Mul(x, b.Scalar(tensor.Float64, 3)))
+	}, 1e-4)
+}
+
+func TestGradStopGradientBlocksFlow(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{2}})
+	stopped := b.Op1("StopGradient", x.Out(0))
+	y := b.Sum(b.Mul(stopped, x.Out(0)), nil, false) // only the direct path contributes
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{y}, []graph.Endpoint{x.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.FromFloat64s(tensor.Shape{2}, []float64{3, 5})
+	out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{grads[0].Dense}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d/dx (const * x) = const = the stopped value.
+	if out[0].FloatAt(0) != 3 || out[0].FloatAt(1) != 5 {
+		t.Errorf("grad with stop = %v, want [3 5]", out[0])
+	}
+}
+
+func TestGradUnrelatedXIsZero(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{2}})
+	z := b.Node("Placeholder", nil, "z", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{2}})
+	y := b.Sum(b.Mul(x.Out(0), x.Out(0)), nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{y}, []graph.Endpoint{z.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grads[0].IsZero() {
+		t.Error("gradient of unrelated variable should be zero")
+	}
+}
+
+func TestGradSeededGradYs(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{2}})
+	y := b.Mul(x.Out(0), x.Out(0))
+	seed := b.Const(tensor.FromFloat64s(tensor.Shape{2}, []float64{10, 100}))
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{y}, []graph.Endpoint{x.Out(0)}, []graph.Endpoint{seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.FromFloat64s(tensor.Shape{2}, []float64{1, 2})
+	out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{grads[0].Dense}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dy/dx = 2x scaled by seeds → [20, 400].
+	if out[0].FloatAt(0) != 20 || out[0].FloatAt(1) != 400 {
+		t.Errorf("seeded grads = %v", out[0])
+	}
+}
+
+func TestGradControlFlowIsRejected(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.ScalarShape()})
+	pred := b.Const(tensor.ScalarBool(true))
+	sw := b.Node("Switch", []graph.Endpoint{x.Out(0), pred}, "", nil)
+	m := b.Node("Merge", []graph.Endpoint{sw.Out(0), sw.Out(1)}, "", nil)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	_, err := Gradients(g, []graph.Endpoint{m.Out(0)}, []graph.Endpoint{x.Out(0)}, nil)
+	if err == nil {
+		t.Fatal("differentiating through Switch/Merge should be rejected")
+	}
+}
+
+func TestGradMissingGradientIsReported(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1, 4, 4, 1}})
+	pool := b.Op("AvgPool", []graph.Endpoint{x.Out(0)}, map[string]any{"ksize": []int{2, 2}, "strides": []int{2, 2}, "padding": "VALID"})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	_, err := Gradients(g, []graph.Endpoint{pool}, []graph.Endpoint{x.Out(0)}, nil)
+	if err == nil {
+		t.Fatal("op without registered gradient should be reported")
+	}
+}

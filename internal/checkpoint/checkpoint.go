@@ -1,0 +1,181 @@
+// Package checkpoint implements the user-level fault-tolerance file format
+// of the paper (§4.3): Save writes named tensors to a checkpoint file and
+// Restore reads them back. Checkpoints are deliberately not transactional
+// with respect to concurrent training updates — the paper argues weak
+// consistency is acceptable for asynchronous SGD — but each file itself is
+// written atomically (temp file + rename) so a crash never leaves a torn
+// checkpoint behind.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// magic identifies checkpoint files; the trailing digit versions the format.
+const magic = "TFGOCKPT1"
+
+// Write stores the named tensors at path atomically.
+func Write(path string, tensors map[string]*tensor.Tensor) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+
+	w := bufio.NewWriter(tmp)
+	if _, err := w.WriteString(magic); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var count [4]byte
+	binary.LittleEndian.PutUint32(count[:], uint32(len(tensors)))
+	if _, err := w.Write(count[:]); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Sort names so identical state produces identical bytes.
+	names := make([]string, 0, len(tensors))
+	for name := range tensors {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		var nameLen [4]byte
+		binary.LittleEndian.PutUint32(nameLen[:], uint32(len(name)))
+		if _, err := w.Write(nameLen[:]); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if _, err := w.WriteString(name); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if _, err := tensors[name].WriteTo(w); err != nil {
+			return fmt.Errorf("checkpoint: writing %q: %w", name, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read loads every tensor stored at path.
+func Read(path string) (map[string]*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading header of %s: %w", path, err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("checkpoint: %s is not a checkpoint file", path)
+	}
+	var count [4]byte
+	if _, err := io.ReadFull(r, count[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(count[:])
+	out := make(map[string]*tensor.Tensor, n)
+	for i := uint32(0); i < n; i++ {
+		var nameLen [4]byte
+		if _, err := io.ReadFull(r, nameLen[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		nameBytes := make([]byte, binary.LittleEndian.Uint32(nameLen[:]))
+		if _, err := io.ReadFull(r, nameBytes); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		t, err := tensor.ReadFrom(r)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: reading %q: %w", string(nameBytes), err)
+		}
+		out[string(nameBytes)] = t
+	}
+	return out, nil
+}
+
+// ReadTensor loads one named tensor from a checkpoint.
+func ReadTensor(path, name string) (*tensor.Tensor, error) {
+	all, err := Read(path)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := all[name]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: %s has no tensor %q", path, name)
+	}
+	return t, nil
+}
+
+// Latest returns the newest checkpoint matching prefix-* in its directory,
+// or "" if none exists. Save paths are conventionally "prefix-<step>".
+func Latest(prefix string) (string, error) {
+	matches, err := filepath.Glob(prefix + "-*")
+	if err != nil {
+		return "", err
+	}
+	best := ""
+	var bestTime int64
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil || info.IsDir() {
+			continue
+		}
+		if t := info.ModTime().UnixNano(); best == "" || t > bestTime {
+			best, bestTime = m, t
+		}
+	}
+	return best, nil
+}
+
+// Retention keeps the most recent keep checkpoints matching prefix-* and
+// deletes the rest, implementing the customizable retention scheme the
+// paper mentions (§4.3).
+func Retention(prefix string, keep int) error {
+	matches, err := filepath.Glob(prefix + "-*")
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		path string
+		mod  int64
+	}
+	entries := make([]entry, 0, len(matches))
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil || info.IsDir() {
+			continue
+		}
+		entries = append(entries, entry{m, info.ModTime().UnixNano()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mod > entries[j].mod })
+	for i := keep; i < len(entries); i++ {
+		if err := os.Remove(entries[i].path); err != nil {
+			return err
+		}
+	}
+	return nil
+}

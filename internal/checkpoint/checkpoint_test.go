@@ -1,0 +1,125 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt-1")
+	data := map[string]*tensor.Tensor{
+		"w":     tensor.NewRNG(1).Normal(tensor.Float32, tensor.Shape{4, 3}, 0, 1),
+		"b":     tensor.FromFloat64s(tensor.Shape{3}, []float64{1, 2, 3}),
+		"step":  tensor.ScalarInt(42),
+		"name":  tensor.ScalarString("model"),
+		"flags": tensor.FromBools(tensor.Shape{2}, []bool{true, false}),
+	}
+	if err := Write(path, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(data) {
+		t.Fatalf("read %d tensors, wrote %d", len(back), len(data))
+	}
+	for name, want := range data {
+		got, ok := back[name]
+		if !ok || !got.Equal(want) {
+			t.Errorf("tensor %q changed in round trip", name)
+		}
+	}
+	single, err := ReadTensor(path, "step")
+	if err != nil || single.IntAt(0) != 42 {
+		t.Errorf("ReadTensor = %v, %v", single, err)
+	}
+	if _, err := ReadTensor(path, "missing"); err == nil {
+		t.Error("missing tensor read succeeded")
+	}
+}
+
+func TestReadRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("definitely not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil {
+		t.Error("corrupt file accepted")
+	}
+	if _, err := Read(filepath.Join(dir, "nonexistent")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Truncated checkpoint.
+	good := filepath.Join(dir, "good-1")
+	if err := Write(good, map[string]*tensor.Tensor{"x": tensor.Scalar(1)}); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := os.ReadFile(good)
+	if err := os.WriteFile(bad, full[:len(full)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bad); err == nil {
+		t.Error("truncated file accepted")
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	data := map[string]*tensor.Tensor{"b": tensor.Scalar(2), "a": tensor.Scalar(1)}
+	p1, p2 := filepath.Join(dir, "c1-1"), filepath.Join(dir, "c2-1")
+	if err := Write(p1, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(p2, data); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Error("identical state produced different checkpoint bytes")
+	}
+}
+
+func TestLatestAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "model")
+	for i := 1; i <= 4; i++ {
+		if err := Write(prefix+"-"+string(rune('0'+i)), map[string]*tensor.Tensor{
+			"step": tensor.ScalarInt(int32(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// mtime resolution can be coarse; force ordering.
+		tm := time.Now().Add(time.Duration(i) * time.Second)
+		if err := os.Chtimes(prefix+"-"+string(rune('0'+i)), tm, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := Latest(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadTensor(latest, "step")
+	if err != nil || st.IntAt(0) != 4 {
+		t.Errorf("latest step = %v, %v", st, err)
+	}
+	if err := Retention(prefix, 2); err != nil {
+		t.Fatal(err)
+	}
+	left, _ := filepath.Glob(prefix + "-*")
+	if len(left) != 2 {
+		t.Errorf("retention kept %d files", len(left))
+	}
+	// Latest on an empty prefix is not an error.
+	none, err := Latest(filepath.Join(dir, "other"))
+	if err != nil || none != "" {
+		t.Errorf("Latest(empty) = %q, %v", none, err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the local session: the client-facing object that
+// owns a graph, compiles pruned subgraphs on demand, caches them per
+// (feeds, fetches, targets) signature, and executes steps against a local
+// device. It is the single-process analogue of the distributed master
+// (paper §3.2, §5): "a client session maintains the mapping from step
+// definitions to cached subgraphs".
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/rendezvous"
+	"repro/internal/tensor"
+)
+
+// Options configures a Session.
+type Options struct {
+	// Optimize enables the master-style graph optimizations (§5):
+	// common-subexpression elimination and constant folding, applied
+	// lazily the first time a subgraph is compiled.
+	Optimize bool
+	// DeviceType selects the kernel set; defaults to "CPU".
+	DeviceType string
+}
+
+// Session executes steps of one graph on one local device. It is safe for
+// concurrent use: multiple Run calls execute as concurrent steps sharing
+// the device's stateful resources (§3.2).
+type Session struct {
+	g      *graph.Graph
+	dev    *device.Device
+	rendez *rendezvous.Local
+	opts   Options
+
+	mu        sync.Mutex
+	cache     map[string]*exec.Executable
+	optimized bool
+	replaced  map[graph.Endpoint]graph.Endpoint
+
+	stepCounter atomic.Int64
+	closed      atomic.Bool
+}
+
+// NewSession creates a session over g with a fresh CPU device.
+func NewSession(g *graph.Graph, opts Options) *Session {
+	if opts.DeviceType == "" {
+		opts.DeviceType = "CPU"
+	}
+	return &Session{
+		g:      g,
+		dev:    device.NewCPU("localhost", 0, 0),
+		rendez: rendezvous.NewLocal(),
+		opts:   opts,
+		cache:  map[string]*exec.Executable{},
+	}
+}
+
+// Device returns the session's device (tests and tools use its resources).
+func (s *Session) Device() *device.Device { return s.dev }
+
+// Graph returns the session's graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// signature builds the cache key for a step definition.
+func signature(feeds []graph.Endpoint, fetches []graph.Endpoint, targets []*graph.Node) string {
+	parts := make([]string, 0, len(feeds)+len(fetches)+len(targets)+3)
+	for _, f := range feeds {
+		parts = append(parts, "f:"+f.String())
+	}
+	sort.Strings(parts)
+	parts = append(parts, "|")
+	for _, f := range fetches {
+		parts = append(parts, "o:"+f.String())
+	}
+	parts = append(parts, "|")
+	for _, t := range targets {
+		parts = append(parts, "t:"+t.Name())
+	}
+	return strings.Join(parts, ";")
+}
+
+// optimizeOnce applies CSE and constant folding the first time any subgraph
+// is compiled. The replacement map remaps endpoints that moved.
+func (s *Session) optimizeOnce() {
+	if s.optimized || !s.opts.Optimize {
+		s.optimized = true
+		if s.replaced == nil {
+			s.replaced = map[graph.Endpoint]graph.Endpoint{}
+		}
+		return
+	}
+	s.optimized = true
+	s.replaced = graph.CSE(s.g)
+	_, folded, err := graph.FoldConstants(s.g, exec.Evaluator(s.opts.DeviceType, s.dev.Resources()))
+	if err == nil {
+		for from, to := range folded {
+			s.replaced[from] = to
+		}
+	}
+}
+
+// Executable compiles (or returns the cached) subgraph for a step
+// definition. Feeds are given as endpoints; values are supplied per Run.
+func (s *Session) Executable(feeds []graph.Endpoint, fetches []graph.Endpoint, targets []*graph.Node) (*exec.Executable, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.optimizeOnce()
+	remappedFetches := make([]graph.Endpoint, len(fetches))
+	for i, f := range fetches {
+		remappedFetches[i] = graph.Remap(s.replaced, f)
+	}
+	key := signature(feeds, remappedFetches, targets)
+	if ex, ok := s.cache[key]; ok {
+		return ex, nil
+	}
+	ex, err := exec.Compile(s.g, feeds, remappedFetches, targets, s.opts.DeviceType)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[key] = ex
+	return ex, nil
+}
+
+// Run executes one step: it feeds the given endpoint/tensor pairs, runs
+// every target node, and returns the fetched tensors in order.
+func (s *Session) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.Endpoint, targets []*graph.Node) ([]*tensor.Tensor, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("core: session is closed")
+	}
+	feedEPs := make([]graph.Endpoint, 0, len(feeds))
+	for ep := range feeds {
+		feedEPs = append(feedEPs, ep)
+	}
+	sort.Slice(feedEPs, func(i, j int) bool { return feedEPs[i].String() < feedEPs[j].String() })
+	ex, err := s.Executable(feedEPs, fetches, targets)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]*tensor.Tensor, len(feedEPs))
+	for i, ep := range feedEPs {
+		vals[i] = feeds[ep]
+	}
+	return ex.Run(exec.RunParams{
+		FeedValues: vals,
+		Resources:  s.dev.Resources(),
+		Rendezvous: s.rendez,
+		StepID:     s.stepCounter.Add(1),
+	})
+}
+
+// CachedSubgraphs reports how many step definitions have been compiled.
+func (s *Session) CachedSubgraphs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Close marks the session closed. Stateful resources are dropped.
+func (s *Session) Close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.dev.Resources().Reset()
+	}
+}

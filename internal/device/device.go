@@ -1,0 +1,249 @@
+// Package device implements the device layer of the runtime (paper §3.3,
+// §5): device names and specs, the CPU device, and the per-device resource
+// manager that owns variables and queues. "Each operation resides on a
+// particular device … a device is responsible for executing a kernel for
+// each operation assigned to it."
+package device
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ops"
+	"repro/internal/queue"
+	"repro/internal/tensor"
+)
+
+// Spec is a parsed device name. Full names look like
+// "/job:worker/task:3/device:GPU:1"; any field may be absent in a
+// *constraint* ("a GPU in any task", §3.3), but concrete devices are fully
+// specified.
+type Spec struct {
+	Job  string // e.g. "worker", "ps"; "" = unconstrained
+	Task int    // -1 = unconstrained
+	Type string // e.g. "CPU", "GPU"; "" = unconstrained
+	ID   int    // -1 = unconstrained
+}
+
+// ParseSpec parses a (possibly partial) device name.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Task: -1, ID: -1}
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(s, "/"), "/") {
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) != 2 {
+			return spec, fmt.Errorf("device: malformed component %q in %q", part, s)
+		}
+		switch kv[0] {
+		case "job":
+			spec.Job = kv[1]
+		case "task", "replica":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return spec, fmt.Errorf("device: bad task in %q: %w", s, err)
+			}
+			spec.Task = n
+		case "device":
+			rest := kv[1]
+			if i := strings.LastIndex(rest, ":"); i >= 0 {
+				n, err := strconv.Atoi(rest[i+1:])
+				if err != nil {
+					return spec, fmt.Errorf("device: bad device id in %q: %w", s, err)
+				}
+				spec.ID = n
+				rest = rest[:i]
+			}
+			spec.Type = strings.ToUpper(rest)
+		case "cpu", "gpu":
+			n, err := strconv.Atoi(kv[1])
+			if err != nil {
+				return spec, fmt.Errorf("device: bad device id in %q: %w", s, err)
+			}
+			spec.Type = strings.ToUpper(kv[0])
+			spec.ID = n
+		default:
+			return spec, fmt.Errorf("device: unknown component %q in %q", kv[0], s)
+		}
+	}
+	return spec, nil
+}
+
+// String renders the spec canonically, omitting unconstrained fields.
+func (s Spec) String() string {
+	var sb strings.Builder
+	if s.Job != "" {
+		fmt.Fprintf(&sb, "/job:%s", s.Job)
+	}
+	if s.Task >= 0 {
+		fmt.Fprintf(&sb, "/task:%d", s.Task)
+	}
+	if s.Type != "" {
+		fmt.Fprintf(&sb, "/device:%s", s.Type)
+		if s.ID >= 0 {
+			fmt.Fprintf(&sb, ":%d", s.ID)
+		}
+	}
+	return sb.String()
+}
+
+// IsFull reports whether the spec names one concrete device.
+func (s Spec) IsFull() bool {
+	return s.Job != "" && s.Task >= 0 && s.Type != "" && s.ID >= 0
+}
+
+// Matches reports whether a concrete device spec satisfies constraint c:
+// every constrained field must agree.
+func (s Spec) Matches(c Spec) bool {
+	if c.Job != "" && c.Job != s.Job {
+		return false
+	}
+	if c.Task >= 0 && c.Task != s.Task {
+		return false
+	}
+	if c.Type != "" && c.Type != s.Type {
+		return false
+	}
+	if c.ID >= 0 && c.ID != s.ID {
+		return false
+	}
+	return true
+}
+
+// Merge combines two constraints; it fails if they conflict.
+func (s Spec) Merge(o Spec) (Spec, error) {
+	out := s
+	if o.Job != "" {
+		if s.Job != "" && s.Job != o.Job {
+			return out, fmt.Errorf("device: job %q conflicts with %q", s.Job, o.Job)
+		}
+		out.Job = o.Job
+	}
+	if o.Task >= 0 {
+		if s.Task >= 0 && s.Task != o.Task {
+			return out, fmt.Errorf("device: task %d conflicts with %d", s.Task, o.Task)
+		}
+		out.Task = o.Task
+	}
+	if o.Type != "" {
+		if s.Type != "" && s.Type != o.Type {
+			return out, fmt.Errorf("device: type %q conflicts with %q", s.Type, o.Type)
+		}
+		out.Type = o.Type
+	}
+	if o.ID >= 0 {
+		if s.ID >= 0 && s.ID != o.ID {
+			return out, fmt.Errorf("device: id %d conflicts with %d", s.ID, o.ID)
+		}
+		out.ID = o.ID
+	}
+	return out, nil
+}
+
+// Device is one executable device: a concrete spec plus the resource
+// manager that owns its stateful objects.
+type Device struct {
+	spec      Spec
+	resources *ResourceManager
+}
+
+// NewCPU creates a CPU device for the given job/task.
+func NewCPU(job string, task, id int) *Device {
+	return &Device{
+		spec:      Spec{Job: job, Task: task, Type: "CPU", ID: id},
+		resources: NewResourceManager(),
+	}
+}
+
+// Spec returns the device's concrete spec.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Name returns the canonical device name.
+func (d *Device) Name() string { return d.spec.String() }
+
+// Resources returns the device's resource manager.
+func (d *Device) Resources() *ResourceManager { return d.resources }
+
+// ResourceManager owns the stateful objects (variables, queues, RNG
+// streams) that live on one device and persist across steps (§3.2).
+type ResourceManager struct {
+	mu     sync.Mutex
+	vars   map[string]*ops.Variable
+	queues map[string]queue.Queue
+	rngs   map[string]*tensor.RNG
+}
+
+// NewResourceManager creates an empty resource manager.
+func NewResourceManager() *ResourceManager {
+	return &ResourceManager{
+		vars:   make(map[string]*ops.Variable),
+		queues: make(map[string]queue.Queue),
+		rngs:   make(map[string]*tensor.RNG),
+	}
+}
+
+// FindOrCreateVariable implements ops.Resources.
+func (m *ResourceManager) FindOrCreateVariable(name string, dt tensor.DType, shape tensor.Shape) *ops.Variable {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if v, ok := m.vars[name]; ok {
+		return v
+	}
+	v := ops.NewVariable(dt, shape)
+	m.vars[name] = v
+	return v
+}
+
+// FindOrCreateQueue implements ops.Resources.
+func (m *ResourceManager) FindOrCreateQueue(name string, factory func() queue.Queue) queue.Queue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if q, ok := m.queues[name]; ok {
+		return q
+	}
+	q := factory()
+	m.queues[name] = q
+	return q
+}
+
+// RNG implements ops.Resources.
+func (m *ResourceManager) RNG(name string, seed int64) *tensor.RNG {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.rngs[name]; ok {
+		return g
+	}
+	g := tensor.NewRNG(seed)
+	m.rngs[name] = g
+	return g
+}
+
+// VariableNames returns the names of all live variables (for checkpoints
+// and tests).
+func (m *ResourceManager) VariableNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.vars))
+	for name := range m.vars {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Reset drops all state, as when a task restarts after a failure (§4.3).
+func (m *ResourceManager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.vars = make(map[string]*ops.Variable)
+	for _, q := range m.queues {
+		q.Close()
+	}
+	m.queues = make(map[string]queue.Queue)
+	m.rngs = make(map[string]*tensor.RNG)
+}

@@ -1,0 +1,87 @@
+package device
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/queue"
+	"repro/internal/tensor"
+)
+
+func TestCPUDeviceIdentity(t *testing.T) {
+	d := NewCPU("worker", 3, 0)
+	if d.Name() != "/job:worker/task:3/device:CPU:0" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	if !d.Spec().IsFull() {
+		t.Error("CPU device spec not fully specified")
+	}
+}
+
+func TestResourceManagerFindOrCreateIsIdempotent(t *testing.T) {
+	m := NewResourceManager()
+	v1 := m.FindOrCreateVariable("w", tensor.Float32, tensor.Shape{2})
+	v2 := m.FindOrCreateVariable("w", tensor.Float32, tensor.Shape{2})
+	if v1 != v2 {
+		t.Error("same name produced distinct variables")
+	}
+	other := m.FindOrCreateVariable("b", tensor.Float32, tensor.Shape{2})
+	if other == v1 {
+		t.Error("distinct names share a variable")
+	}
+	q1 := m.FindOrCreateQueue("q", func() queue.Queue { return queue.NewFIFO(2) })
+	q2 := m.FindOrCreateQueue("q", func() queue.Queue { return queue.NewFIFO(99) })
+	if q1 != q2 {
+		t.Error("same name produced distinct queues")
+	}
+	g1 := m.RNG("r", 7)
+	g2 := m.RNG("r", 999) // seed ignored after creation
+	if g1 != g2 {
+		t.Error("same name produced distinct RNGs")
+	}
+	names := m.VariableNames()
+	if len(names) != 2 {
+		t.Errorf("VariableNames = %v", names)
+	}
+}
+
+func TestResourceManagerConcurrentCreate(t *testing.T) {
+	m := NewResourceManager()
+	const n = 50
+	vars := make([]any, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vars[i] = m.FindOrCreateVariable("shared", tensor.Float32, tensor.Shape{1})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if vars[i] != vars[0] {
+			t.Fatal("concurrent FindOrCreate returned different instances")
+		}
+	}
+}
+
+func TestResourceManagerReset(t *testing.T) {
+	m := NewResourceManager()
+	v := m.FindOrCreateVariable("w", tensor.Float32, tensor.Shape{1})
+	if err := v.Assign(tensor.FromFloat32s(tensor.Shape{1}, []float32{5})); err != nil {
+		t.Fatal(err)
+	}
+	q := m.FindOrCreateQueue("q", func() queue.Queue { return queue.NewFIFO(2) })
+	m.Reset()
+	// A task restart (§4.3) drops all state: new instances, queues closed.
+	v2 := m.FindOrCreateVariable("w", tensor.Float32, tensor.Shape{1})
+	if v2 == v || v2.Initialized() {
+		t.Error("Reset did not drop variable state")
+	}
+	if !q.Closed() {
+		t.Error("Reset did not close queues")
+	}
+	if len(m.VariableNames()) != 1 {
+		t.Errorf("VariableNames after reset = %v", m.VariableNames())
+	}
+}

@@ -1,0 +1,143 @@
+// Package distributed implements the distributed runtime of §3.3 and §5:
+// a master that prunes, optimizes, places and partitions the client's graph
+// and coordinates step execution across tasks; worker services that own
+// devices and execute registered subgraphs; a task-level rendezvous that
+// pulls tensors from remote peers; and two transports (in-process function
+// calls and gob-encoded frames over TCP).
+package distributed
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// ClusterSpec names the jobs of a cluster and the network address of each
+// task, playing the role the paper assigns to Chubby/ZooKeeper (§4.3:
+// "we rely on a system like Chubby or ZooKeeper to map task IDs to IP
+// addresses").
+type ClusterSpec map[string][]string
+
+// TaskName returns the canonical task name, e.g. "/job:ps/task:0".
+func TaskName(job string, index int) string {
+	return fmt.Sprintf("/job:%s/task:%d", job, index)
+}
+
+// Tasks lists every task name in the cluster, sorted for determinism.
+func (c ClusterSpec) Tasks() []string {
+	var out []string
+	for job, addrs := range c {
+		for i := range addrs {
+			out = append(out, TaskName(job, i))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Address returns the address registered for a task.
+func (c ClusterSpec) Address(job string, index int) (string, error) {
+	addrs, ok := c[job]
+	if !ok || index < 0 || index >= len(addrs) {
+		return "", fmt.Errorf("distributed: unknown task %s", TaskName(job, index))
+	}
+	return addrs[index], nil
+}
+
+// Devices lists one CPU device per task — the device set handed to
+// placement.
+func (c ClusterSpec) Devices() []device.Spec {
+	var out []device.Spec
+	for job, addrs := range c {
+		for i := range addrs {
+			out = append(out, device.Spec{Job: job, Task: i, Type: "CPU", ID: 0})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// taskOfDevice extracts the task name from a device name.
+func taskOfDevice(dev string) (string, error) {
+	spec, err := device.ParseSpec(dev)
+	if err != nil {
+		return "", err
+	}
+	if spec.Job == "" || spec.Task < 0 {
+		return "", fmt.Errorf("distributed: device %q has no task", dev)
+	}
+	return TaskName(spec.Job, spec.Task), nil
+}
+
+// --- wire messages --------------------------------------------------------
+
+// RegisterGraphReq installs one per-device subgraph on a worker (§5: the
+// master "prunes and partitions the graph to obtain subgraphs for each
+// participating device, and caches these subgraphs so that they may be
+// re-used in subsequent steps").
+type RegisterGraphReq struct {
+	GraphBytes []byte
+	// Feeds, Fetches are "name:index" refs local to the subgraph;
+	// Targets are node names.
+	Feeds   []string
+	Fetches []string
+	Targets []string
+}
+
+// RegisterGraphResp returns the handle for subsequent RunGraph calls.
+type RegisterGraphResp struct {
+	Handle string
+}
+
+// RunGraphReq executes one registered subgraph as part of step StepID.
+type RunGraphReq struct {
+	Handle string
+	StepID int64
+	Feeds  []*tensor.Tensor
+}
+
+// RunGraphResp carries the fetched tensors, in registration order.
+type RunGraphResp struct {
+	Fetches []*tensor.Tensor
+}
+
+// RecvTensorReq pulls the value for a rendezvous key from the task that
+// produced it (§3.3).
+type RecvTensorReq struct {
+	Key string
+}
+
+// RecvTensorResp returns the value; Dead marks an untaken conditional
+// branch propagating across devices.
+type RecvTensorResp struct {
+	Tensor *tensor.Tensor
+	Dead   bool
+}
+
+// AbortStepReq cancels one step on a worker, unblocking its pending
+// receives after a peer failure.
+type AbortStepReq struct {
+	StepID int64
+}
+
+// Transport is the raw interface to one remote task.
+type Transport interface {
+	RegisterGraph(req *RegisterGraphReq) (*RegisterGraphResp, error)
+	RunGraph(req *RunGraphReq) (*RunGraphResp, error)
+	RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error)
+	AbortStep(req *AbortStepReq) error
+	Close() error
+}
+
+// Resolver locates the transport for a task name.
+type Resolver func(task string) (Transport, error)
+
+func valueToResp(v ops.Value) (*RecvTensorResp, error) {
+	if v.Ref != nil {
+		return nil, fmt.Errorf("distributed: reference values cannot cross tasks")
+	}
+	return &RecvTensorResp{Tensor: v.Tensor, Dead: v.Dead}, nil
+}

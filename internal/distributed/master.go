@@ -1,0 +1,372 @@
+package distributed
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+)
+
+// globalStepBase makes step IDs unique across masters sharing workers in
+// one process, and across processes sharing a TCP cluster.
+var globalStepCounter atomic.Int64
+
+func nextStepID() int64 {
+	return (int64(os.Getpid()) << 32) | globalStepCounter.Add(1)
+}
+
+// Master translates client Run calls into distributed execution (§5):
+// given a graph and a step definition it prunes, optimizes, places and
+// partitions the graph, registers the per-device subgraphs with each
+// participating task, caches the result keyed by the step signature, and
+// then coordinates each step with one RunGraph call per task — "a
+// distributed step on a large graph can be initiated with one small message
+// to each participating task" (§3.3).
+type Master struct {
+	g        *graph.Graph
+	cluster  ClusterSpec
+	resolver Resolver
+	devices  []device.Spec
+	defDev   device.Spec
+	optimize bool
+
+	mu        sync.Mutex
+	cache     map[string]*compiledStep
+	optimized bool
+	replaced  map[graph.Endpoint]graph.Endpoint
+}
+
+type compiledStep struct {
+	parts []*stepPart
+	// fetchSrc locates each fetch: feed index (when a fed endpoint is
+	// fetched directly) or (part, position) otherwise.
+	fetchSrc []fetchSource
+}
+
+type stepPart struct {
+	task    string
+	handle  string
+	feedEPs []graph.Endpoint // original endpoints, order matches registration
+	fetches []graph.Endpoint
+}
+
+type fetchSource struct {
+	feedIdx int // >= 0 when served by a feed
+	part    int
+	pos     int
+}
+
+// MasterOptions configures a master.
+type MasterOptions struct {
+	// DisableOptimizations turns off CSE and constant folding.
+	DisableOptimizations bool
+	// DefaultDevice receives unconstrained nodes; defaults to the first
+	// cluster device.
+	DefaultDevice string
+}
+
+// NewMaster creates a master for the graph over the cluster.
+func NewMaster(g *graph.Graph, cluster ClusterSpec, resolver Resolver, opts MasterOptions) (*Master, error) {
+	devices := cluster.Devices()
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("distributed: cluster has no devices")
+	}
+	defDev := devices[0]
+	if opts.DefaultDevice != "" {
+		spec, err := device.ParseSpec(opts.DefaultDevice)
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, d := range devices {
+			if d.Matches(spec) {
+				defDev = d
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("distributed: default device %q not in cluster", opts.DefaultDevice)
+		}
+	}
+	return &Master{
+		g:        g,
+		cluster:  cluster,
+		resolver: resolver,
+		devices:  devices,
+		defDev:   defDev,
+		optimize: !opts.DisableOptimizations,
+		cache:    map[string]*compiledStep{},
+		replaced: map[graph.Endpoint]graph.Endpoint{},
+	}, nil
+}
+
+func stepSignature(feeds, fetches []graph.Endpoint, targets []*graph.Node) string {
+	var sb strings.Builder
+	for _, f := range feeds {
+		sb.WriteString("f:" + f.String() + ";")
+	}
+	sb.WriteString("|")
+	for _, f := range fetches {
+		sb.WriteString("o:" + f.String() + ";")
+	}
+	sb.WriteString("|")
+	for _, t := range targets {
+		sb.WriteString("t:" + t.Name() + ";")
+	}
+	return sb.String()
+}
+
+// compile builds (or returns the cached) execution plan for a step
+// signature.
+func (m *Master) compile(feeds, fetches []graph.Endpoint, targets []*graph.Node) (*compiledStep, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Master-side optimization pass (§5), once per graph.
+	if !m.optimized {
+		m.optimized = true
+		if m.optimize {
+			m.replaced = graph.CSE(m.g)
+			_, folded, err := graph.FoldConstants(m.g, exec.Evaluator("CPU", nil))
+			if err == nil {
+				for from, to := range folded {
+					m.replaced[from] = to
+				}
+			}
+		}
+	}
+	remFetches := make([]graph.Endpoint, len(fetches))
+	for i, f := range fetches {
+		remFetches[i] = graph.Remap(m.replaced, f)
+	}
+
+	key := stepSignature(feeds, remFetches, targets)
+	if cs, ok := m.cache[key]; ok {
+		return cs, nil
+	}
+
+	set, err := graph.Prune(m.g, feeds, remFetches, targets)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := placement.Place(m.g, set, m.devices, m.defDev)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partition.Partition(m.g, set, asg, feeds, remFetches, targets)
+	if err != nil {
+		return nil, err
+	}
+
+	cs := &compiledStep{}
+	fed := map[graph.Endpoint]int{}
+	for i, f := range feeds {
+		fed[f] = i
+	}
+
+	// Deterministic partition order.
+	var devNames []string
+	for name := range parts.Parts {
+		devNames = append(devNames, name)
+	}
+	sort.Strings(devNames)
+
+	partIdxByDev := map[string]int{}
+	for _, devName := range devNames {
+		p := parts.Parts[devName]
+		task, err := taskOfDevice(devName)
+		if err != nil {
+			return nil, err
+		}
+		bytes, err := p.Graph.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		req := &RegisterGraphReq{GraphBytes: bytes}
+		sp := &stepPart{task: task}
+
+		var feedKeys []graph.Endpoint
+		for orig := range p.Feeds {
+			feedKeys = append(feedKeys, orig)
+		}
+		sort.Slice(feedKeys, func(i, j int) bool { return feedKeys[i].String() < feedKeys[j].String() })
+		for _, orig := range feedKeys {
+			local := p.Feeds[orig]
+			req.Feeds = append(req.Feeds, fmt.Sprintf("%s:%d", local.Node.Name(), local.Index))
+			sp.feedEPs = append(sp.feedEPs, orig)
+		}
+
+		var fetchKeys []graph.Endpoint
+		for orig := range p.Fetches {
+			fetchKeys = append(fetchKeys, orig)
+		}
+		sort.Slice(fetchKeys, func(i, j int) bool { return fetchKeys[i].String() < fetchKeys[j].String() })
+		for _, orig := range fetchKeys {
+			local := p.Fetches[orig]
+			req.Fetches = append(req.Fetches, fmt.Sprintf("%s:%d", local.Node.Name(), local.Index))
+			sp.fetches = append(sp.fetches, orig)
+		}
+		for _, t := range p.Targets {
+			req.Targets = append(req.Targets, t.Name())
+		}
+		// Every node of a partition must execute (the global prune already
+		// ran): register the partition's sinks — nodes nothing consumes —
+		// as targets, so Send nodes and stateful updates fire even in
+		// partitions with no fetch.
+		for _, name := range partitionSinks(p.Graph) {
+			req.Targets = append(req.Targets, name)
+		}
+
+		tr, err := m.resolver(task)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := tr.RegisterGraph(req)
+		if err != nil {
+			return nil, fmt.Errorf("distributed: registering on %s: %w", task, err)
+		}
+		sp.handle = resp.Handle
+		partIdxByDev[devName] = len(cs.parts)
+		cs.parts = append(cs.parts, sp)
+	}
+
+	// Locate each fetch.
+	cs.fetchSrc = make([]fetchSource, len(remFetches))
+	for i, f := range remFetches {
+		if fi, ok := fed[f]; ok {
+			cs.fetchSrc[i] = fetchSource{feedIdx: fi}
+			continue
+		}
+		found := false
+		for pi, sp := range cs.parts {
+			for pos, orig := range sp.fetches {
+				if orig == f {
+					cs.fetchSrc[i] = fetchSource{feedIdx: -1, part: pi, pos: pos}
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("distributed: fetch %v not assigned to any partition", f)
+		}
+	}
+	m.cache[key] = cs
+	return cs, nil
+}
+
+// Run executes one distributed step.
+func (m *Master) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.Endpoint, targets []*graph.Node) ([]*tensor.Tensor, error) {
+	feedEPs := make([]graph.Endpoint, 0, len(feeds))
+	for ep := range feeds {
+		feedEPs = append(feedEPs, ep)
+	}
+	sort.Slice(feedEPs, func(i, j int) bool { return feedEPs[i].String() < feedEPs[j].String() })
+
+	cs, err := m.compile(feedEPs, fetches, targets)
+	if err != nil {
+		return nil, err
+	}
+	stepID := nextStepID()
+
+	type partResult struct {
+		idx  int
+		resp *RunGraphResp
+		err  error
+	}
+	results := make(chan partResult, len(cs.parts))
+	for i, sp := range cs.parts {
+		go func(i int, sp *stepPart) {
+			tr, err := m.resolver(sp.task)
+			if err != nil {
+				results <- partResult{idx: i, err: err}
+				return
+			}
+			vals := make([]*tensor.Tensor, len(sp.feedEPs))
+			for j, ep := range sp.feedEPs {
+				vals[j] = feeds[ep]
+			}
+			resp, err := tr.RunGraph(&RunGraphReq{Handle: sp.handle, StepID: stepID, Feeds: vals})
+			results <- partResult{idx: i, resp: resp, err: err}
+		}(i, sp)
+	}
+	partResps := make([]*RunGraphResp, len(cs.parts))
+	var firstErr error
+	for range cs.parts {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("distributed: step %d on %s: %w", stepID, cs.parts[r.idx].task, r.err)
+			// Unblock peers that may be waiting on the failed task.
+			m.endStep(cs, stepID)
+		}
+		partResps[r.idx] = r.resp
+	}
+	// Reclaim per-step rendezvous buffers everywhere.
+	m.endStep(cs, stepID)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := make([]*tensor.Tensor, len(fetches))
+	for i, src := range cs.fetchSrc {
+		if src.feedIdx >= 0 {
+			out[i] = feeds[feedEPs[src.feedIdx]]
+			continue
+		}
+		resp := partResps[src.part]
+		if resp == nil || src.pos >= len(resp.Fetches) {
+			return nil, fmt.Errorf("distributed: fetch %v missing from %s", fetches[i], cs.parts[src.part].task)
+		}
+		out[i] = resp.Fetches[src.pos]
+	}
+	return out, nil
+}
+
+// partitionSinks returns the names of nodes with no consumers.
+func partitionSinks(g *graph.Graph) []string {
+	consumed := map[int]bool{}
+	for _, n := range g.Nodes() {
+		for _, in := range n.Inputs() {
+			consumed[in.Node.ID()] = true
+		}
+		for _, c := range n.ControlInputs() {
+			consumed[c.ID()] = true
+		}
+	}
+	var out []string
+	for _, n := range g.Nodes() {
+		if !consumed[n.ID()] {
+			out = append(out, n.Name())
+		}
+	}
+	return out
+}
+
+// endStep tells every participating task the step is over.
+func (m *Master) endStep(cs *compiledStep, stepID int64) {
+	for _, sp := range cs.parts {
+		if tr, err := m.resolver(sp.task); err == nil {
+			_ = tr.AbortStep(&AbortStepReq{StepID: stepID})
+		}
+	}
+}
+
+// CachedSteps reports how many step signatures have been compiled.
+func (m *Master) CachedSteps() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cache)
+}

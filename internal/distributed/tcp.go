@@ -1,0 +1,320 @@
+package distributed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// The TCP transport speaks a minimal multiplexed RPC: each request carries
+// a client-chosen ID; the server answers out of order, so a long-blocking
+// RecvTensor does not head-of-line-block RunGraph calls on the same
+// connection. This is the "gRPC over TCP" slot of the layered architecture
+// in Figure 5.
+
+type rpcRequest struct {
+	ID     uint64
+	Method string
+	Reg    *RegisterGraphReq
+	Run    *RunGraphReq
+	Recv   *RecvTensorReq
+	Abort  *AbortStepReq
+}
+
+type rpcResponse struct {
+	ID   uint64
+	Err  string
+	Reg  *RegisterGraphResp
+	Run  *RunGraphResp
+	Recv *RecvTensorResp
+}
+
+// Server exposes a Worker over TCP.
+type Server struct {
+	worker   *Worker
+	listener net.Listener
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// Serve starts a server for the worker on addr ("host:port", ":0" for an
+// ephemeral port). It returns once the listener is ready.
+func Serve(worker *Worker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: %w", err)
+	}
+	s := &Server{worker: worker, listener: ln, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the server and its connections.
+func (s *Server) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.listener.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	connDone := make(chan struct{})
+	defer close(connDone)
+	for {
+		var req rpcRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		// Handle each request on its own goroutine so blocking
+		// RecvTensor calls do not stall the connection.
+		go func(req rpcRequest) {
+			resp := s.dispatch(&req, connDone)
+			encMu.Lock()
+			defer encMu.Unlock()
+			_ = enc.Encode(resp)
+		}(req)
+	}
+}
+
+func (s *Server) dispatch(req *rpcRequest, connDone <-chan struct{}) *rpcResponse {
+	resp := &rpcResponse{ID: req.ID}
+	var err error
+	switch req.Method {
+	case "RegisterGraph":
+		resp.Reg, err = s.worker.RegisterGraph(req.Reg)
+	case "RunGraph":
+		resp.Run, err = s.worker.RunGraph(req.Run)
+	case "RecvTensor":
+		resp.Recv, err = s.worker.RecvTensor(req.Recv, connDone)
+	case "AbortStep":
+		err = s.worker.AbortStep(req.Abort)
+	default:
+		err = fmt.Errorf("distributed: unknown method %q", req.Method)
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	return resp
+}
+
+// Client is the TCP transport to one remote task.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+
+	encMu   sync.Mutex
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan *rpcResponse
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a worker server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: dialing %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		pending: map[uint64]chan *rpcResponse{},
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp rpcResponse
+		if err := c.dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+func (c *Client) call(req *rpcRequest, abort <-chan struct{}) (*rpcResponse, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *rpcResponse, 1)
+	c.mu.Lock()
+	if c.closed || c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("distributed: client closed")
+		}
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	err := c.enc.Encode(req)
+	c.encMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("distributed: sending %s: %w", req.Method, err)
+	}
+	if abort == nil {
+		abort = make(chan struct{}) // never fires
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("distributed: connection lost during %s", req.Method)
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("%s", resp.Err)
+		}
+		return resp, nil
+	case <-abort:
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("distributed: %s aborted", req.Method)
+	}
+}
+
+// RegisterGraph implements Transport.
+func (c *Client) RegisterGraph(req *RegisterGraphReq) (*RegisterGraphResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "RegisterGraph", Reg: req}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Reg, nil
+}
+
+// RunGraph implements Transport.
+func (c *Client) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "RunGraph", Run: req}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Run, nil
+}
+
+// RecvTensor implements Transport.
+func (c *Client) RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "RecvTensor", Recv: req}, abort)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Recv, nil
+}
+
+// AbortStep implements Transport.
+func (c *Client) AbortStep(req *AbortStepReq) error {
+	_, err := c.call(&rpcRequest{Method: "AbortStep", Abort: req}, nil)
+	return err
+}
+
+// Close implements Transport.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// TCPResolver resolves tasks to cached TCP clients using the cluster spec's
+// addresses (the name-service role of §4.3).
+func TCPResolver(spec ClusterSpec) Resolver {
+	var mu sync.Mutex
+	cache := map[string]*Client{}
+	return func(task string) (Transport, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if c, ok := cache[task]; ok {
+			return c, nil
+		}
+		var job string
+		var idx int
+		if _, err := fmt.Sscanf(task, "/job:%s", &job); err != nil {
+			return nil, fmt.Errorf("distributed: malformed task %q", task)
+		}
+		if i := indexOf(job, "/task:"); i >= 0 {
+			if _, err := fmt.Sscanf(job[i+len("/task:"):], "%d", &idx); err != nil {
+				return nil, fmt.Errorf("distributed: malformed task %q", task)
+			}
+			job = job[:i]
+		}
+		addr, err := spec.Address(job, idx)
+		if err != nil {
+			return nil, err
+		}
+		c, err := Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		cache[task] = c
+		return c, nil
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,74 @@
+package distributed
+
+// InProc is the in-process transport: direct method calls on a Worker.
+// Single-process clusters use it for tests and for the in-memory cluster
+// harness; it is also the fastest "RDMA-like" path in the layered
+// networking design of Figure 5.
+type InProc struct {
+	W *Worker
+}
+
+// RegisterGraph implements Transport.
+func (t *InProc) RegisterGraph(req *RegisterGraphReq) (*RegisterGraphResp, error) {
+	return t.W.RegisterGraph(req)
+}
+
+// RunGraph implements Transport.
+func (t *InProc) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
+	return t.W.RunGraph(req)
+}
+
+// RecvTensor implements Transport.
+func (t *InProc) RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error) {
+	return t.W.RecvTensor(req, abort)
+}
+
+// AbortStep implements Transport.
+func (t *InProc) AbortStep(req *AbortStepReq) error {
+	return t.W.AbortStep(req)
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error { return nil }
+
+// InProcCluster wires a full single-process cluster: one worker per task,
+// each resolving peers through the shared table. It stands in for a real
+// deployment in tests, examples and the real-runtime microbenchmarks.
+type InProcCluster struct {
+	Spec    ClusterSpec
+	Workers map[string]*Worker
+}
+
+// NewInProcCluster creates and cross-wires workers for every task in spec.
+func NewInProcCluster(spec ClusterSpec) *InProcCluster {
+	c := &InProcCluster{Spec: spec, Workers: map[string]*Worker{}}
+	resolver := func(task string) (Transport, error) {
+		w, ok := c.Workers[task]
+		if !ok {
+			return nil, errUnknownTask(task)
+		}
+		return &InProc{W: w}, nil
+	}
+	for job, addrs := range spec {
+		for i := range addrs {
+			w := NewWorker(job, i, resolver)
+			c.Workers[w.Task()] = w
+		}
+	}
+	return c
+}
+
+// Resolver returns the cluster's transport resolver.
+func (c *InProcCluster) Resolver() Resolver {
+	return func(task string) (Transport, error) {
+		w, ok := c.Workers[task]
+		if !ok {
+			return nil, errUnknownTask(task)
+		}
+		return &InProc{W: w}, nil
+	}
+}
+
+type errUnknownTask string
+
+func (e errUnknownTask) Error() string { return "distributed: unknown task " + string(e) }

@@ -1,0 +1,231 @@
+package distributed
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/rendezvous"
+)
+
+// Worker is the dataflow executor service of one task (§5): it registers
+// subgraphs sent by the master, schedules their kernels on the local
+// device, and serves RecvTensor requests from peer tasks out of its local
+// rendezvous table.
+type Worker struct {
+	task     string
+	dev      *device.Device
+	local    *rendezvous.Local
+	resolver Resolver
+
+	mu     sync.Mutex
+	graphs map[string]*registeredGraph
+	steps  map[int64]chan struct{}
+	nextID atomic.Int64
+	closed bool
+}
+
+type registeredGraph struct {
+	ex *exec.Executable
+}
+
+// NewWorker creates the worker for the given task ("/job:x/task:n"); the
+// resolver locates peers for remote receives.
+func NewWorker(job string, taskIndex int, resolver Resolver) *Worker {
+	return &Worker{
+		task:     TaskName(job, taskIndex),
+		dev:      device.NewCPU(job, taskIndex, 0),
+		local:    rendezvous.NewLocal(),
+		resolver: resolver,
+		graphs:   map[string]*registeredGraph{},
+		steps:    map[int64]chan struct{}{},
+	}
+}
+
+// Task returns the worker's task name.
+func (w *Worker) Task() string { return w.task }
+
+// Device returns the worker's device (tests inspect its resources).
+func (w *Worker) Device() *device.Device { return w.dev }
+
+// Reset drops all registered graphs and device state, simulating a task
+// restart after failure (§4.3).
+func (w *Worker) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.graphs = map[string]*registeredGraph{}
+	w.dev.Resources().Reset()
+}
+
+// parseRef resolves a "name:index" reference in g.
+func parseRef(g *graph.Graph, ref string) (graph.Endpoint, error) {
+	i := strings.LastIndex(ref, ":")
+	if i < 0 {
+		return graph.Endpoint{}, fmt.Errorf("distributed: malformed endpoint ref %q", ref)
+	}
+	n := g.ByName(ref[:i])
+	if n == nil {
+		return graph.Endpoint{}, fmt.Errorf("distributed: ref %q names unknown node", ref)
+	}
+	var idx int
+	if _, err := fmt.Sscanf(ref[i+1:], "%d", &idx); err != nil {
+		return graph.Endpoint{}, fmt.Errorf("distributed: malformed endpoint ref %q", ref)
+	}
+	return graph.Endpoint{Node: n, Index: idx}, nil
+}
+
+// RegisterGraph implements the service: decode, compile, cache.
+func (w *Worker) RegisterGraph(req *RegisterGraphReq) (*RegisterGraphResp, error) {
+	g, err := graph.Unmarshal(req.GraphBytes)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: %s: %w", w.task, err)
+	}
+	feeds := make([]graph.Endpoint, len(req.Feeds))
+	for i, ref := range req.Feeds {
+		if feeds[i], err = parseRef(g, ref); err != nil {
+			return nil, err
+		}
+	}
+	fetches := make([]graph.Endpoint, len(req.Fetches))
+	for i, ref := range req.Fetches {
+		if fetches[i], err = parseRef(g, ref); err != nil {
+			return nil, err
+		}
+	}
+	targets := make([]*graph.Node, len(req.Targets))
+	for i, name := range req.Targets {
+		targets[i] = g.ByName(name)
+		if targets[i] == nil {
+			return nil, fmt.Errorf("distributed: target %q names unknown node", name)
+		}
+	}
+	ex, err := exec.Compile(g, feeds, fetches, targets, w.dev.Spec().Type)
+	if err != nil {
+		return nil, fmt.Errorf("distributed: %s: compiling subgraph: %w", w.task, err)
+	}
+	handle := fmt.Sprintf("%s/g%d", w.task, w.nextID.Add(1))
+	w.mu.Lock()
+	w.graphs[handle] = &registeredGraph{ex: ex}
+	w.mu.Unlock()
+	return &RegisterGraphResp{Handle: handle}, nil
+}
+
+// RunGraph implements the service: execute one registered subgraph as part
+// of a (possibly multi-task) step.
+func (w *Worker) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
+	w.mu.Lock()
+	rg, ok := w.graphs[req.Handle]
+	if !ok {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("distributed: %s: unknown graph handle %q", w.task, req.Handle)
+	}
+	abort, ok := w.steps[req.StepID]
+	if !ok {
+		abort = make(chan struct{})
+		w.steps[req.StepID] = abort
+	}
+	w.mu.Unlock()
+	// The step's rendezvous entries are NOT cleaned here: peers may still
+	// pull values this partition produced after our executor completes.
+	// The master ends the step on every participant once all partitions
+	// finish (EndStep), which is when buffers are reclaimed.
+	defer func() {
+		w.mu.Lock()
+		delete(w.steps, req.StepID)
+		w.mu.Unlock()
+	}()
+
+	out, err := rg.ex.Run(exec.RunParams{
+		FeedValues: req.Feeds,
+		Resources:  w.dev.Resources(),
+		Rendezvous: &taskRendezvous{w: w},
+		StepID:     req.StepID,
+		Abort:      abort,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunGraphResp{Fetches: out}, nil
+}
+
+// AbortStep implements the service: it cancels the step if it is still
+// running (after a peer failure) and reclaims the step's rendezvous
+// buffers. The master invokes it on every participant when a step ends,
+// successfully or not.
+func (w *Worker) AbortStep(req *AbortStepReq) error {
+	w.mu.Lock()
+	if ch, ok := w.steps[req.StepID]; ok {
+		select {
+		case <-ch:
+		default:
+			close(ch)
+		}
+	}
+	w.mu.Unlock()
+	w.local.CleanupStep(fmt.Sprintf("step %d;", req.StepID))
+	return nil
+}
+
+// RecvTensor implements the service: blocking read of a locally produced
+// rendezvous value on behalf of a remote peer.
+func (w *Worker) RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error) {
+	v, err := w.local.Recv(req.Key, abort)
+	if err != nil {
+		return nil, err
+	}
+	return valueToResp(v)
+}
+
+// taskRendezvous adapts the worker's rendezvous for kernels: sends buffer
+// locally; receives consult the key's source device and pull from the
+// owning task when it is remote (§3.3: specialized Send/Recv per device
+// pair — here local-local and task-task).
+type taskRendezvous struct {
+	w *Worker
+}
+
+// Send implements ops.Rendezvous.
+func (r *taskRendezvous) Send(key string, v ops.Value) error {
+	return r.w.local.Send(key, v)
+}
+
+// Recv implements ops.Rendezvous.
+func (r *taskRendezvous) Recv(key string, abort <-chan struct{}) (ops.Value, error) {
+	srcTask, err := keySourceTask(key)
+	if err != nil {
+		return ops.Value{}, err
+	}
+	if srcTask == r.w.task {
+		return r.w.local.Recv(key, abort)
+	}
+	tr, err := r.w.resolver(srcTask)
+	if err != nil {
+		return ops.Value{}, fmt.Errorf("distributed: resolving %s: %w", srcTask, err)
+	}
+	resp, err := tr.RecvTensor(&RecvTensorReq{Key: key}, abort)
+	if err != nil {
+		return ops.Value{}, err
+	}
+	if resp.Dead {
+		return ops.Value{Dead: true}, nil
+	}
+	return ops.Value{Tensor: resp.Tensor}, nil
+}
+
+// keySourceTask extracts the producing task from a rendezvous key
+// ("step N;srcDevice;dstDevice;name").
+func keySourceTask(key string) (string, error) {
+	parts := strings.SplitN(key, ";", 4)
+	if len(parts) != 4 {
+		return "", fmt.Errorf("distributed: malformed rendezvous key %q", key)
+	}
+	return taskOfDevice(parts[1])
+}
+
+// LocalTensorCount reports buffered rendezvous entries (leak checks).
+func (w *Worker) LocalTensorCount() int { return w.local.Pending() }

@@ -1,0 +1,255 @@
+// Package exec implements the dataflow executor (paper §3.2, §5): it
+// schedules the kernels of a pruned, per-device subgraph, supports many
+// concurrent steps over the same graph, propagates dead values for
+// conditional execution, and maintains loop frames for iteration in the
+// style of timely dataflow (§3.4).
+//
+// A graph is compiled once into an immutable Executable (the "cached
+// subgraph" of §3.3/§5); each Run creates a fresh, independent step state,
+// so steps never share anything except the stateful resources (variables,
+// queues) owned by the device.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+)
+
+// inputSource describes where one input slot of a node gets its value:
+// either from another node's output or from a feed.
+type inputSource struct {
+	fed      bool
+	feedIdx  int // index into the feed list when fed
+	producer int // local node index otherwise
+	outIdx   int
+}
+
+// consumer is a (node, input slot) destination of an output.
+type consumer struct {
+	node int
+	slot int
+}
+
+// execNode is the compiled form of one graph node.
+type execNode struct {
+	node     *graph.Node
+	kernel   ops.Kernel
+	mayBlock bool
+
+	inputs       []inputSource
+	numControl   int
+	outConsumers [][]consumer // per output index
+	ctlConsumers []int        // nodes with a control dependency on this node
+
+	// Control-flow classification (§3.4).
+	isMerge    bool
+	isEnter    bool
+	isExit     bool
+	isNextIter bool
+	enterFrame string
+	enterConst bool // loop-invariant Enter
+
+	// initialPending is numDataInputs (minus fed) + numControl.
+	initialPending  int32
+	initialCtl      int32
+	numFetchOutputs int // how many outputs are fetched (fast skip when 0)
+	anyConsumers    bool
+	inLoop          bool
+}
+
+// Executable is an immutable compiled subgraph plus its feed/fetch plan.
+type Executable struct {
+	graphRef *graph.Graph
+	nodes    []*execNode
+	localIdx map[int]int // graph node id -> local index
+
+	feeds   []graph.Endpoint
+	feedIdx map[graph.Endpoint]int
+	fetches []graph.Endpoint
+	// fetchPlan[i] identifies the producer of fetch i: local node + output,
+	// or a fed endpoint.
+	fetchPlan []inputSource
+
+	roots       []int // nodes with no unfed inputs and no control deps
+	hasLoops    bool
+	hasCtrlFlow bool
+	deviceType  string
+}
+
+// Compile prunes the graph for the given feeds/fetches/targets (§3.2) and
+// builds the executable form. The deviceType selects kernels.
+func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.Node, deviceType string) (*Executable, error) {
+	if deviceType == "" {
+		deviceType = "CPU"
+	}
+	set, err := graph.Prune(g, feeds, fetches, targets)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Executable{
+		graphRef:   g,
+		localIdx:   make(map[int]int),
+		feeds:      append([]graph.Endpoint(nil), feeds...),
+		feedIdx:    make(map[graph.Endpoint]int, len(feeds)),
+		fetches:    append([]graph.Endpoint(nil), fetches...),
+		deviceType: deviceType,
+	}
+	for i, f := range feeds {
+		if _, dup := ex.feedIdx[f]; dup {
+			return nil, fmt.Errorf("exec: endpoint %v fed twice", f)
+		}
+		ex.feedIdx[f] = i
+	}
+
+	ids := set.SortedIDs()
+	for _, id := range ids {
+		n := g.Node(id)
+		kernel, err := ops.LookupKernel(n.Op(), deviceType)
+		if err != nil {
+			return nil, err
+		}
+		en := &execNode{
+			node:         n,
+			kernel:       kernel,
+			mayBlock:     ops.MayBlock(n.Op()),
+			numControl:   0,
+			outConsumers: make([][]consumer, n.NumOutputs()),
+		}
+		switch n.Op() {
+		case "Merge":
+			en.isMerge = true
+		case "Enter":
+			en.isEnter = true
+			en.enterFrame = n.AttrString("frame_name", "")
+			en.enterConst = n.AttrBool("is_constant", false)
+		case "Exit":
+			en.isExit = true
+		case "NextIteration":
+			en.isNextIter = true
+		}
+		ex.localIdx[id] = len(ex.nodes)
+		ex.nodes = append(ex.nodes, en)
+	}
+
+	// Wire inputs and consumers.
+	for li, en := range ex.nodes {
+		n := en.node
+		for slot, in := range n.Inputs() {
+			if fi, fed := ex.feedIdx[in]; fed {
+				en.inputs = append(en.inputs, inputSource{fed: true, feedIdx: fi})
+				continue
+			}
+			pl, ok := ex.localIdx[in.Node.ID()]
+			if !ok {
+				return nil, fmt.Errorf("exec: %s consumes %v which was pruned away", n.Name(), in)
+			}
+			en.inputs = append(en.inputs, inputSource{producer: pl, outIdx: in.Index})
+			ex.nodes[pl].outConsumers[in.Index] = append(ex.nodes[pl].outConsumers[in.Index], consumer{node: li, slot: slot})
+			ex.nodes[pl].anyConsumers = true
+		}
+		for _, c := range n.ControlInputs() {
+			pl, ok := ex.localIdx[c.ID()]
+			if !ok {
+				// A pruned control dependency cannot fire; treat it
+				// as an error to avoid silently dropping ordering.
+				return nil, fmt.Errorf("exec: %s has control dependency on pruned node %s", n.Name(), c.Name())
+			}
+			en.numControl++
+			ex.nodes[pl].ctlConsumers = append(ex.nodes[pl].ctlConsumers, li)
+			ex.nodes[pl].anyConsumers = true
+		}
+		pendingData := 0
+		for _, src := range en.inputs {
+			if !src.fed {
+				pendingData++
+			}
+		}
+		en.initialPending = int32(pendingData + en.numControl)
+		en.initialCtl = int32(en.numControl)
+		if en.isMerge || en.isEnter || en.isExit || en.isNextIter || n.Op() == "Switch" || n.Op() == "LoopCond" {
+			ex.hasCtrlFlow = true
+		}
+		if en.isEnter || en.isNextIter {
+			ex.hasLoops = true
+		}
+	}
+
+	// Fetch plan.
+	ex.fetchPlan = make([]inputSource, len(fetches))
+	for i, f := range fetches {
+		if fi, fed := ex.feedIdx[f]; fed {
+			ex.fetchPlan[i] = inputSource{fed: true, feedIdx: fi}
+			continue
+		}
+		pl, ok := ex.localIdx[f.Node.ID()]
+		if !ok {
+			return nil, fmt.Errorf("exec: fetch %v not reachable after pruning", f)
+		}
+		ex.fetchPlan[i] = inputSource{producer: pl, outIdx: f.Index}
+		ex.nodes[pl].numFetchOutputs++
+	}
+
+	// Roots: nodes ready at step start.
+	for li, en := range ex.nodes {
+		if en.initialPending == 0 {
+			ex.roots = append(ex.roots, li)
+		}
+	}
+	if len(ex.nodes) > 0 && len(ex.roots) == 0 {
+		return nil, fmt.Errorf("exec: subgraph has no source nodes (every node has unfed inputs)")
+	}
+
+	// Mark loop membership: every node reachable from an Enter without
+	// passing through the matching Exit lives inside a frame; the step
+	// state uses the slower frame-aware path for these.
+	if ex.hasLoops {
+		ex.markLoopNodes()
+	}
+	return ex, nil
+}
+
+// markLoopNodes flags nodes inside loop frames. A node is in a loop if it is
+// reachable from any Enter following data/control edges without crossing an
+// Exit node (the Exit itself is in the loop; its consumers are not).
+func (ex *Executable) markLoopNodes() {
+	var stack []int
+	for li, en := range ex.nodes {
+		if en.isEnter {
+			en.inLoop = true
+			stack = append(stack, li)
+		}
+	}
+	for len(stack) > 0 {
+		li := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		en := ex.nodes[li]
+		if en.isExit {
+			continue
+		}
+		for _, consumers := range en.outConsumers {
+			for _, c := range consumers {
+				if !ex.nodes[c.node].inLoop {
+					ex.nodes[c.node].inLoop = true
+					stack = append(stack, c.node)
+				}
+			}
+		}
+		for _, c := range en.ctlConsumers {
+			if !ex.nodes[c].inLoop {
+				ex.nodes[c].inLoop = true
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+// NumNodes returns the number of compiled nodes (after pruning).
+func (ex *Executable) NumNodes() int { return len(ex.nodes) }
+
+// Feeds returns the feed endpoints this executable was compiled for.
+func (ex *Executable) Feeds() []graph.Endpoint { return ex.feeds }
+
+// Fetches returns the fetch endpoints this executable was compiled for.
+func (ex *Executable) Fetches() []graph.Endpoint { return ex.fetches }

@@ -1,0 +1,648 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// RunParams supplies the per-step inputs of Executable.Run.
+type RunParams struct {
+	// FeedValues are the fed tensors, parallel to Executable.Feeds().
+	FeedValues []*tensor.Tensor
+	// Resources locates the device's stateful objects.
+	Resources ops.Resources
+	// Rendezvous serves Send/Recv kernels (may be nil for local graphs).
+	Rendezvous ops.Rendezvous
+	// StepID scopes rendezvous keys; concurrent steps must use distinct
+	// IDs (§3.2).
+	StepID int64
+	// Abort, if non-nil, cancels the step from outside (e.g. the master
+	// aborting all partitions after a peer failure).
+	Abort <-chan struct{}
+}
+
+// Run executes one step and returns the fetched tensors, in the order the
+// fetches were given to Compile. Multiple Runs may execute concurrently on
+// one Executable.
+func (ex *Executable) Run(p RunParams) ([]*tensor.Tensor, error) {
+	if len(p.FeedValues) != len(ex.feeds) {
+		return nil, fmt.Errorf("exec: %d feed values for %d feeds", len(p.FeedValues), len(ex.feeds))
+	}
+	for i, t := range p.FeedValues {
+		spec := ex.feeds[i].Spec()
+		if t == nil {
+			return nil, fmt.Errorf("exec: feed %v is nil", ex.feeds[i])
+		}
+		if t.DType() != spec.DType {
+			return nil, fmt.Errorf("exec: feed %v has dtype %v, edge carries %v", ex.feeds[i], t.DType(), spec.DType)
+		}
+		if spec.Shape.IsFullyDefined() && !t.Shape().Equal(spec.Shape) {
+			return nil, fmt.Errorf("exec: feed %v has shape %v, edge requires %v", ex.feeds[i], t.Shape(), spec.Shape)
+		}
+	}
+	s := newStep(ex, p)
+	s.start()
+	<-s.done
+	if s.err != nil {
+		return nil, s.err
+	}
+	out := make([]*tensor.Tensor, len(ex.fetches))
+	for i, plan := range ex.fetchPlan {
+		if plan.fed {
+			out[i] = p.FeedValues[plan.feedIdx]
+			continue
+		}
+		v := s.fetched[i]
+		if v == nil {
+			return nil, fmt.Errorf("exec: fetch %v was never produced", ex.fetches[i])
+		}
+		if v.Dead {
+			return nil, fmt.Errorf("exec: fetch %v is dead (untaken conditional branch)", ex.fetches[i])
+		}
+		if v.Tensor == nil {
+			return nil, fmt.Errorf("exec: fetch %v is a reference, not a tensor; fetch through a Read op", ex.fetches[i])
+		}
+		out[i] = v.Tensor
+	}
+	return out, nil
+}
+
+// frameInstance is a live loop frame (§3.4): one dynamic instance of the
+// static frame identified by an Enter's frame_name, created in a particular
+// (parent frame, parent iteration) context.
+type frameInstance struct {
+	name       string
+	parent     *frameInstance
+	parentIter int
+
+	mu        sync.Mutex
+	iters     map[int]map[int]*nodeState // iter -> local node idx -> state
+	constants map[int]ops.Value          // const-Enter local idx -> recorded value
+	children  map[string]*frameInstance  // nested frames by (name, parentIter) key
+	// constDone[iter][node] marks (iteration, const-Enter) pairs whose
+	// value has been delivered, so the value reaches each iteration
+	// exactly once whether the iteration or the constant arrives first.
+	constDone map[int]map[int]bool
+}
+
+// claimConst atomically claims delivery of const node cn into iteration
+// iter; it reports whether the caller should perform the delivery.
+func (f *frameInstance) claimConst(iter, cn int) bool {
+	if f.constDone == nil {
+		f.constDone = map[int]map[int]bool{}
+	}
+	m, ok := f.constDone[iter]
+	if !ok {
+		m = map[int]bool{}
+		f.constDone[iter] = m
+	}
+	if m[cn] {
+		return false
+	}
+	m[cn] = true
+	return true
+}
+
+// nodeState is the per-(node, frame, iteration) execution state.
+type nodeState struct {
+	mu         sync.Mutex
+	inputs     []ops.Value
+	pending    int32
+	ctlPending int32
+	anyDead    bool // a dead data or control input arrived (non-merge kill)
+	liveData   bool // merge: a live data input was stored
+	deadData   int32
+	scheduled  bool
+	done       bool
+}
+
+type workItem struct {
+	node  int
+	frame *frameInstance
+	iter  int
+}
+
+type step struct {
+	ex *Executable
+	p  RunParams
+
+	// Fast path (no control flow): atomic dense state.
+	fastPending []int32
+	fastInputs  [][]ops.Value
+
+	// Slow path: dense root states + dynamic loop frames.
+	rootStates []*nodeState
+	rootFrame  *frameInstance
+
+	fetched []*ops.Value
+
+	outstanding atomic.Int64
+	queue       chan workItem
+	workers     int
+
+	abort   chan struct{}
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+	aborted atomic.Bool
+	fetchMu sync.Mutex
+}
+
+func newStep(ex *Executable, p RunParams) *step {
+	s := &step{
+		ex:      ex,
+		p:       p,
+		fetched: make([]*ops.Value, len(ex.fetches)),
+		abort:   make(chan struct{}),
+		done:    make(chan struct{}),
+		queue:   make(chan workItem, len(ex.nodes)+64),
+	}
+	s.workers = runtime.GOMAXPROCS(0)
+	if s.workers > len(ex.nodes)+1 {
+		s.workers = len(ex.nodes) + 1
+	}
+	if s.workers < 1 {
+		s.workers = 1
+	}
+	if ex.hasCtrlFlow {
+		s.rootFrame = &frameInstance{
+			iters:     map[int]map[int]*nodeState{},
+			constants: map[int]ops.Value{},
+			children:  map[string]*frameInstance{},
+		}
+		s.rootStates = make([]*nodeState, len(ex.nodes))
+		for i, en := range ex.nodes {
+			st := &nodeState{
+				inputs:     make([]ops.Value, len(en.inputs)),
+				pending:    en.initialPending,
+				ctlPending: en.initialCtl,
+			}
+			for slot, src := range en.inputs {
+				if src.fed {
+					st.inputs[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
+				}
+			}
+			s.rootStates[i] = st
+		}
+	} else {
+		s.fastPending = make([]int32, len(ex.nodes))
+		s.fastInputs = make([][]ops.Value, len(ex.nodes))
+		for i, en := range ex.nodes {
+			s.fastPending[i] = en.initialPending
+			vals := make([]ops.Value, len(en.inputs))
+			for slot, src := range en.inputs {
+				if src.fed {
+					vals[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
+				}
+			}
+			s.fastInputs[i] = vals
+		}
+	}
+	return s
+}
+
+func (s *step) fail(err error) {
+	s.errOnce.Do(func() {
+		s.err = err
+		s.aborted.Store(true)
+		close(s.abort)
+	})
+}
+
+func (s *step) start() {
+	// Forward external aborts into the step.
+	if s.p.Abort != nil {
+		go func() {
+			select {
+			case <-s.p.Abort:
+				s.fail(fmt.Errorf("exec: step %d aborted by caller", s.p.StepID))
+			case <-s.done:
+			}
+		}()
+	}
+	for w := 0; w < s.workers; w++ {
+		go s.workerLoop()
+	}
+	// Token guarding the kickoff so outstanding cannot hit zero while
+	// roots are still being enqueued.
+	s.outstanding.Add(1)
+	for _, r := range s.ex.roots {
+		s.enqueue(workItem{node: r, frame: s.rootFrame, iter: 0})
+	}
+	s.finish(1)
+}
+
+// enqueue schedules a node execution; it owns one outstanding token.
+func (s *step) enqueue(w workItem) {
+	s.outstanding.Add(1)
+	en := s.ex.nodes[w.node]
+	if en.mayBlock {
+		// Blocking kernels get private goroutines so they cannot
+		// starve the compute workers (queues, Recv).
+		go func() {
+			s.process(w)
+			s.finish(1)
+		}()
+		return
+	}
+	select {
+	case s.queue <- w:
+	default:
+		// Queue full: execute inline rather than block a worker.
+		s.process(w)
+		s.finish(1)
+	}
+}
+
+// finish releases n outstanding tokens and completes the step at zero.
+func (s *step) finish(n int64) {
+	if s.outstanding.Add(-n) == 0 {
+		close(s.done)
+	}
+}
+
+func (s *step) workerLoop() {
+	for {
+		select {
+		case w := <-s.queue:
+			s.process(w)
+			s.finish(1)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// process executes one scheduled node and propagates its outputs.
+func (s *step) process(w workItem) {
+	if s.aborted.Load() {
+		return
+	}
+	en := s.ex.nodes[w.node]
+
+	var inputs []ops.Value
+	if s.ex.hasCtrlFlow {
+		st := s.state(w.frame, w.iter, w.node, false)
+		if st == nil {
+			return
+		}
+		st.mu.Lock()
+		if st.done {
+			st.mu.Unlock()
+			return
+		}
+		st.done = true
+		inputs = st.inputs
+		dead := st.anyDead && !en.isMerge
+		if en.isMerge && !st.liveData {
+			dead = true
+		}
+		st.mu.Unlock()
+		if dead {
+			s.emitDead(w, en)
+			return
+		}
+	} else {
+		inputs = s.fastInputs[w.node]
+	}
+
+	outputs := make([]ops.Value, en.node.NumOutputs())
+	ctx := &ops.OpContext{
+		Node:       en.node,
+		Inputs:     inputs,
+		Outputs:    outputs,
+		Resources:  s.p.Resources,
+		Rendezvous: s.p.Rendezvous,
+		StepID:     s.p.StepID,
+		Abort:      s.abort,
+	}
+	if err := en.kernel(ctx); err != nil {
+		s.fail(fmt.Errorf("exec: %s (%s): %w", en.node.Name(), en.node.Op(), err))
+		return
+	}
+	s.propagate(w, en, outputs, false)
+}
+
+// emitDead marks every output of the node dead and propagates.
+func (s *step) emitDead(w workItem, en *execNode) {
+	outputs := make([]ops.Value, en.node.NumOutputs())
+	for i := range outputs {
+		outputs[i] = ops.Value{Dead: true}
+	}
+	s.propagate(w, en, outputs, true)
+}
+
+// propagate delivers outputs and the control-completion signal to
+// consumers, applying the frame transitions of Enter/Exit/NextIteration.
+func (s *step) propagate(w workItem, en *execNode, outputs []ops.Value, nodeDead bool) {
+	if s.aborted.Load() {
+		return
+	}
+	// Dead Exit values are suppressed, not propagated: inside a live loop
+	// every non-final iteration produces a dead value on the Exit's
+	// Switch branch, and forwarding it would race the real result (the
+	// reference executor keeps such values in a dead_exits list).
+	if en.isExit && nodeDead {
+		return
+	}
+
+	// Destination context for data/control receivers.
+	dstFrame, dstIter := w.frame, w.iter
+	switch {
+	case en.isExit:
+		if w.frame != nil && w.frame != s.rootFrame {
+			dstFrame, dstIter = w.frame.parent, w.frame.parentIter
+		}
+	case en.isNextIter:
+		dstIter = w.iter + 1
+	}
+
+	// Record fetches: a fetch observes the value as delivered in the root
+	// context (Exit nodes deliver into their parent frame).
+	if en.numFetchOutputs > 0 && dstFrame == s.rootFrame && dstIter == 0 {
+		s.fetchMu.Lock()
+		for fi, plan := range s.ex.fetchPlan {
+			if !plan.fed && plan.producer == w.node {
+				v := outputs[plan.outIdx]
+				s.fetched[fi] = &v
+			}
+		}
+		s.fetchMu.Unlock()
+	}
+
+	// A constant Enter's value must be visible in every iteration of its
+	// frame (§3.4 loop-invariant inputs): record it, claim the iterations
+	// that already exist, and deliver to them; ensureIterConstants covers
+	// iterations created later.
+	if en.isEnter && en.enterConst && w.frame != nil {
+		f := w.frame
+		f.mu.Lock()
+		f.constants[w.node] = outputs[0]
+		var lateIters []int
+		for iter := range f.constDone {
+			if iter != w.iter && f.claimConst(iter, w.node) {
+				lateIters = append(lateIters, iter)
+			}
+		}
+		f.claimConst(w.iter, w.node) // normal propagation below covers it
+		f.mu.Unlock()
+		for _, iter := range lateIters {
+			s.deliverConstTo(f, iter, w.node, outputs[0])
+		}
+	}
+
+	// The first value flowing into a new iteration re-delivers every
+	// loop-invariant constant there.
+	if en.isNextIter && s.ex.hasCtrlFlow && dstFrame != nil {
+		s.ensureIterConstants(dstFrame, dstIter)
+	}
+
+	for outIdx, consumers := range en.outConsumers {
+		for _, c := range consumers {
+			s.deliverData(dstFrame, dstIter, c, outputs[outIdx])
+		}
+	}
+	for _, c := range en.ctlConsumers {
+		s.deliverControl(dstFrame, dstIter, c, nodeDead)
+	}
+}
+
+// ensureIterConstants delivers every recorded loop-invariant constant of
+// frame f into iteration iter (once per pair).
+func (s *step) ensureIterConstants(f *frameInstance, iter int) {
+	f.mu.Lock()
+	type pending struct {
+		node int
+		v    ops.Value
+	}
+	var todo []pending
+	for cn, v := range f.constants {
+		if f.claimConst(iter, cn) {
+			todo = append(todo, pending{cn, v})
+		}
+	}
+	// Mark the iteration as known even when no constants are recorded
+	// yet, so late-arriving constants find it.
+	f.claimConst(iter, -1)
+	f.mu.Unlock()
+	for _, p := range todo {
+		s.deliverConstTo(f, iter, p.node, p.v)
+	}
+}
+
+// deliverConstTo routes one constant Enter's output to its consumers in the
+// given iteration.
+func (s *step) deliverConstTo(f *frameInstance, iter int, node int, v ops.Value) {
+	en := s.ex.nodes[node]
+	for _, consumers := range en.outConsumers {
+		for _, c := range consumers {
+			s.deliverData(f, iter, c, v)
+		}
+	}
+	for _, c := range en.ctlConsumers {
+		s.deliverControl(f, iter, c, v.Dead)
+	}
+}
+
+// --- fast path delivery ----------------------------------------------------
+
+func (s *step) deliverFastData(c consumer, v ops.Value) {
+	s.fastInputs[c.node][c.slot] = v
+	if atomic.AddInt32(&s.fastPending[c.node], -1) == 0 {
+		s.enqueue(workItem{node: c.node})
+	}
+}
+
+func (s *step) deliverFastControl(c int) {
+	if atomic.AddInt32(&s.fastPending[c], -1) == 0 {
+		s.enqueue(workItem{node: c})
+	}
+}
+
+// --- slow (control-flow aware) delivery ------------------------------------
+
+// state returns the nodeState for (frame, iter, node), creating it when
+// create is set. Root-frame iteration 0 states are preallocated.
+func (s *step) state(f *frameInstance, iter int, node int, create bool) *nodeState {
+	if f == s.rootFrame && iter == 0 {
+		return s.rootStates[node]
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	iterMap, ok := f.iters[iter]
+	if !ok {
+		if !create {
+			return nil
+		}
+		iterMap = map[int]*nodeState{}
+		f.iters[iter] = iterMap
+	}
+	st, ok := iterMap[node]
+	if !ok {
+		if !create {
+			return nil
+		}
+		en := s.ex.nodes[node]
+		st = &nodeState{
+			inputs:     make([]ops.Value, len(en.inputs)),
+			pending:    en.initialPending,
+			ctlPending: en.initialCtl,
+		}
+		for slot, src := range en.inputs {
+			if src.fed {
+				st.inputs[slot] = ops.Value{Tensor: s.p.FeedValues[src.feedIdx]}
+			}
+		}
+		iterMap[node] = st
+	}
+	return st
+}
+
+// childFrame finds or creates the frame instance for an Enter consumer.
+func (s *step) childFrame(parent *frameInstance, parentIter int, name string) *frameInstance {
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	key := fmt.Sprintf("%s@%d", name, parentIter)
+	if f, ok := parent.children[key]; ok {
+		return f
+	}
+	f := &frameInstance{
+		name:       name,
+		parent:     parent,
+		parentIter: parentIter,
+		iters:      map[int]map[int]*nodeState{},
+		constants:  map[int]ops.Value{},
+		children:   map[string]*frameInstance{},
+	}
+	parent.children[key] = f
+	return f
+}
+
+func (s *step) deliverData(f *frameInstance, iter int, c consumer, v ops.Value) {
+	if !s.ex.hasCtrlFlow {
+		s.deliverFastData(c, v)
+		return
+	}
+	en := s.ex.nodes[c.node]
+	// Values entering a loop are re-addressed to the child frame, iter 0.
+	if en.isEnter {
+		f = s.childFrame(f, iter, en.enterFrame)
+		iter = 0
+	}
+	st := s.state(f, iter, c.node, true)
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		return
+	}
+	st.inputs[c.slot] = v
+	st.pending--
+	schedule := false
+	if en.isMerge {
+		if v.Dead {
+			st.deadData++
+			if st.pending == 0 && !st.scheduled {
+				st.scheduled = true
+				schedule = true // will emit dead in process()
+			}
+		} else {
+			st.liveData = true
+			if st.ctlPending == 0 && !st.scheduled {
+				st.scheduled = true
+				schedule = true
+			}
+		}
+	} else {
+		if v.Dead {
+			st.anyDead = true
+		}
+		if st.pending == 0 && !st.scheduled {
+			st.scheduled = true
+			schedule = true
+		}
+	}
+	st.mu.Unlock()
+	if schedule {
+		s.enqueue(workItem{node: c.node, frame: f, iter: iter})
+	}
+}
+
+func (s *step) deliverControl(f *frameInstance, iter int, c int, dead bool) {
+	if !s.ex.hasCtrlFlow {
+		s.deliverFastControl(c)
+		return
+	}
+	en := s.ex.nodes[c]
+	if en.isEnter {
+		f = s.childFrame(f, iter, en.enterFrame)
+		iter = 0
+	}
+	st := s.state(f, iter, c, true)
+	st.mu.Lock()
+	if st.done {
+		st.mu.Unlock()
+		return
+	}
+	st.pending--
+	st.ctlPending--
+	if dead {
+		st.anyDead = true
+	}
+	schedule := false
+	if en.isMerge {
+		if st.ctlPending == 0 && st.liveData && !st.scheduled {
+			st.scheduled = true
+			schedule = true
+		} else if st.pending == 0 && !st.scheduled {
+			st.scheduled = true
+			schedule = true
+		}
+	} else if st.pending == 0 && !st.scheduled {
+		st.scheduled = true
+		schedule = true
+	}
+	st.mu.Unlock()
+	if schedule {
+		s.enqueue(workItem{node: c, frame: f, iter: iter})
+	}
+}
+
+// Evaluator returns a graph.Evaluator backed by this package's kernels; the
+// master uses it for constant folding (§5).
+func Evaluator(deviceType string, resources ops.Resources) graph.Evaluator {
+	return func(n *graph.Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		kernel, err := ops.LookupKernel(n.Op(), deviceType)
+		if err != nil {
+			return nil, err
+		}
+		if ops.MayBlock(n.Op()) || n.Stateful() {
+			return nil, fmt.Errorf("exec: op %s cannot be folded", n.Op())
+		}
+		ctx := &ops.OpContext{
+			Node:      n,
+			Inputs:    make([]ops.Value, len(inputs)),
+			Outputs:   make([]ops.Value, n.NumOutputs()),
+			Resources: resources,
+		}
+		for i, t := range inputs {
+			ctx.Inputs[i] = ops.Value{Tensor: t}
+		}
+		if err := kernel(ctx); err != nil {
+			return nil, err
+		}
+		out := make([]*tensor.Tensor, len(ctx.Outputs))
+		for i, v := range ctx.Outputs {
+			if v.Tensor == nil {
+				return nil, fmt.Errorf("exec: fold of %s produced a non-tensor output", n.Name())
+			}
+			out[i] = v.Tensor
+		}
+		return out, nil
+	}
+}

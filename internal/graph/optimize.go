@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// The distributed master applies standard optimizations before caching
+// subgraphs (§5): common subexpression elimination, constant folding, and
+// pruning (implemented as Prune in traverse.go). Both passes below mutate
+// consumer input lists in place and return a replacement map so callers can
+// remap fetch endpoints; they must run before any step executes the graph.
+
+// nonOptimizable reports ops that CSE and constant folding must leave
+// untouched: placeholders are identities the client binds at Run time, and
+// control-flow nodes carry frame structure that must stay 1:1 with the
+// loops and conditionals that created them (§3.4).
+func nonOptimizable(op string) bool {
+	switch op {
+	case "Placeholder", "Switch", "Merge", "Enter", "Exit", "NextIteration", "LoopCond":
+		return true
+	}
+	return false
+}
+
+// rewriteInputs redirects every use of `from` to `to` across the graph.
+func (g *Graph) rewriteInputs(from, to Endpoint) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.nodes {
+		for i, in := range n.inputs {
+			if in == from {
+				n.inputs[i] = to
+			}
+		}
+	}
+}
+
+// signature returns a canonical identity string for CSE, or "" if the node
+// must not be deduplicated.
+func (n *Node) signature() string {
+	if n.def.Stateful {
+		return ""
+	}
+	if nonOptimizable(n.op) {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(n.op)
+	sb.WriteByte('|')
+	sb.WriteString(n.device)
+	sb.WriteByte('|')
+	for _, in := range n.inputs {
+		fmt.Fprintf(&sb, "%d:%d,", in.Node.id, in.Index)
+	}
+	sb.WriteByte('|')
+	keys := make([]string, 0, len(n.attrs))
+	for k := range n.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch v := n.attrs[k].(type) {
+		case *tensor.Tensor:
+			// Hash small constant payloads by content; skip CSE for
+			// large ones rather than pay a big serialization.
+			if v.NumElements() > 64 {
+				return ""
+			}
+			fmt.Fprintf(&sb, "%s=%v;", k, v)
+		default:
+			fmt.Fprintf(&sb, "%s=%v;", k, v)
+		}
+	}
+	sb.WriteByte('|')
+	for _, c := range n.control {
+		fmt.Fprintf(&sb, "^%d,", c.id)
+	}
+	return sb.String()
+}
+
+// CSE eliminates common subexpressions: stateless nodes with identical op
+// type, attributes, inputs, control inputs and device constraint are merged
+// into their first occurrence. Returns the endpoint replacement map.
+func CSE(g *Graph) map[Endpoint]Endpoint {
+	replaced := make(map[Endpoint]Endpoint)
+	seen := make(map[string]*Node)
+	// Iterate to a fixpoint: merging two producers can make their
+	// consumers identical.
+	for {
+		changed := false
+		for _, n := range g.Nodes() {
+			sig := n.signature()
+			if sig == "" {
+				continue
+			}
+			canon, dup := seen[sig]
+			if !dup {
+				seen[sig] = n
+				continue
+			}
+			if canon == n {
+				continue
+			}
+			for i := 0; i < n.NumOutputs(); i++ {
+				from, to := n.Out(i), canon.Out(i)
+				if _, done := replaced[from]; done {
+					continue
+				}
+				g.rewriteInputs(from, to)
+				replaced[from] = to
+				changed = true
+			}
+		}
+		if !changed {
+			return replaced
+		}
+		seen = make(map[string]*Node)
+		// Transitively compress the replacement map.
+		for from, to := range replaced {
+			for {
+				next, ok := replaced[to]
+				if !ok {
+					break
+				}
+				to = next
+			}
+			replaced[from] = to
+		}
+	}
+}
+
+// Evaluator executes a stateless single-output node given materialized input
+// tensors; the core package supplies one backed by the real kernels.
+type Evaluator func(n *Node, inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
+
+// FoldConstants repeatedly evaluates stateless nodes whose inputs are all
+// Const nodes and replaces them with new Const nodes. Nodes listed in keep
+// (e.g. fetch producers that must keep their identity) are still foldable —
+// the replacement map records where their value moved. Returns the number
+// of folded nodes and the endpoint replacement map.
+func FoldConstants(g *Graph, eval Evaluator) (int, map[Endpoint]Endpoint, error) {
+	replaced := make(map[Endpoint]Endpoint)
+	folded := 0
+	for {
+		changed := false
+		for _, n := range g.Nodes() {
+			if n.op == "Const" || n.def.Stateful || len(n.control) > 0 || n.NumInputs() == 0 || nonOptimizable(n.op) {
+				continue
+			}
+			if _, already := replaced[n.Out(0)]; already {
+				continue
+			}
+			allConst := true
+			inputs := make([]*tensor.Tensor, n.NumInputs())
+			for i, in := range n.inputs {
+				if in.Node.op != "Const" {
+					allConst = false
+					break
+				}
+				v, _ := in.Node.AttrTensor("value")
+				inputs[i] = v
+			}
+			if !allConst {
+				continue
+			}
+			outs, err := eval(n, inputs)
+			if err != nil {
+				// An op the evaluator cannot fold is skipped, not fatal.
+				continue
+			}
+			for i, out := range outs {
+				c, err := g.AddNode("Const", nil, NodeArgs{
+					Name:   n.name + "/folded",
+					Attrs:  map[string]any{"value": out, "dtype": out.DType()},
+					Device: n.device,
+				})
+				if err != nil {
+					return folded, replaced, fmt.Errorf("graph: folding %s: %w", n.name, err)
+				}
+				from, to := n.Out(i), c.Out(0)
+				g.rewriteInputs(from, to)
+				replaced[from] = to
+			}
+			folded++
+			changed = true
+		}
+		if !changed {
+			return folded, replaced, nil
+		}
+	}
+}
+
+// Remap applies a replacement map to an endpoint, following chains.
+func Remap(replaced map[Endpoint]Endpoint, e Endpoint) Endpoint {
+	for {
+		to, ok := replaced[e]
+		if !ok {
+			return e
+		}
+		e = to
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeSet is a set of node IDs within one graph.
+type NodeSet map[int]bool
+
+// Contains reports membership.
+func (s NodeSet) Contains(n *Node) bool { return s[n.id] }
+
+// Add inserts a node.
+func (s NodeSet) Add(n *Node) { s[n.id] = true }
+
+// SortedIDs returns the member IDs in ascending order.
+func (s NodeSet) SortedIDs() []int {
+	ids := make([]int, 0, len(s))
+	for id, in := range s {
+		if in {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// TopoSort returns the nodes of the set in a topological order over data and
+// control edges (restricted to edges inside the set). NextIteration back
+// edges are excluded from the dependency relation, exactly as in timely
+// dataflow loop handling (§3.4): they are the only legal cycles.
+func TopoSort(g *Graph, set NodeSet) ([]*Node, error) {
+	nodes := g.Nodes()
+	indeg := make(map[int]int)
+	succ := make(map[int][]int)
+	for _, n := range nodes {
+		if set != nil && !set[n.id] {
+			continue
+		}
+		indeg[n.id] += 0
+		for _, in := range n.inputs {
+			if set != nil && !set[in.Node.id] {
+				continue
+			}
+			if isBackEdgeSource(in.Node) {
+				continue
+			}
+			indeg[n.id]++
+			succ[in.Node.id] = append(succ[in.Node.id], n.id)
+		}
+		for _, c := range n.control {
+			if set != nil && !set[c.id] {
+				continue
+			}
+			if isBackEdgeSource(c) {
+				continue
+			}
+			indeg[n.id]++
+			succ[c.id] = append(succ[c.id], n.id)
+		}
+	}
+	queue := make([]int, 0, len(indeg))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	sort.Ints(queue)
+	var order []*Node
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, nodes[id])
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(indeg) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered); only NextIteration back edges may form cycles",
+			len(order), len(indeg))
+	}
+	return order, nil
+}
+
+func isBackEdgeSource(n *Node) bool { return n.op == "NextIteration" }
+
+// Prune computes the set of nodes needed to produce the fetch endpoints and
+// run the target nodes, treating fed endpoints as already-available values
+// (§3.2: "the runtime prunes the graph to contain the necessary set of
+// operations"; §5 calls this dead-code elimination).
+//
+// A node is needed if it is a fetch producer or target, or if a needed node
+// consumes one of its outputs through a non-fed edge (data or control).
+func Prune(g *Graph, feeds []Endpoint, fetches []Endpoint, targets []*Node) (NodeSet, error) {
+	fed := make(map[Endpoint]bool, len(feeds))
+	for _, f := range feeds {
+		fed[f] = true
+	}
+	// If every output of a node is fed, its inputs are unnecessary; but a
+	// partially fed node must still run. We walk backwards from roots.
+	set := make(NodeSet)
+	var stack []*Node
+	push := func(n *Node) {
+		if !set[n.id] {
+			set[n.id] = true
+			stack = append(stack, n)
+		}
+	}
+	for _, f := range fetches {
+		if fed[f] {
+			continue // fetching a fed endpoint needs no computation
+		}
+		push(f.Node)
+	}
+	for _, t := range targets {
+		push(t)
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.inputs {
+			if fed[in] {
+				continue
+			}
+			push(in.Node)
+		}
+		for _, c := range n.control {
+			push(c)
+		}
+	}
+	return set, nil
+}
+
+// Consumers returns, for every node in the graph, the list of (consumer,
+// input index) pairs per output. It is a building block for partitioning
+// and optimization passes.
+func Consumers(g *Graph) map[Endpoint][]Endpoint {
+	out := make(map[Endpoint][]Endpoint)
+	for _, n := range g.Nodes() {
+		for i, in := range n.inputs {
+			out[in] = append(out[in], Endpoint{Node: n, Index: i})
+		}
+	}
+	return out
+}

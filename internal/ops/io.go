@@ -1,0 +1,88 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func init() {
+	registerIOOps()
+}
+
+func registerIOOps() {
+	// Save(filename, tensor_names, data...) writes one checkpoint file.
+	// The typical configuration connects every Variable in a task to one
+	// Save op to maximize I/O bandwidth (§4.3).
+	graph.RegisterOp(&graph.OpDef{
+		Type: "Save", MinInputs: 2, MaxInputs: -1, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			if in[0].DType != tensor.String {
+				return nil, fmt.Errorf("Save filename must be a string")
+			}
+			if in[1].DType != tensor.String {
+				return nil, fmt.Errorf("Save tensor_names must be strings")
+			}
+			return nil, nil
+		},
+	})
+	RegisterBlockingKernel("Save", "CPU", func(ctx *OpContext) error {
+		filename, err := ctx.Input(0)
+		if err != nil {
+			return err
+		}
+		names, err := ctx.Input(1)
+		if err != nil {
+			return err
+		}
+		if names.NumElements() != len(ctx.Inputs)-2 {
+			return fmt.Errorf("Save got %d names for %d tensors", names.NumElements(), len(ctx.Inputs)-2)
+		}
+		data := make(map[string]*tensor.Tensor, len(ctx.Inputs)-2)
+		for i := 2; i < len(ctx.Inputs); i++ {
+			t, err := ctx.Input(i)
+			if err != nil {
+				return err
+			}
+			data[names.Strings()[i-2]] = t
+		}
+		return checkpoint.Write(filename.Strings()[0], data)
+	})
+
+	// Restore(filename) reads one named tensor; an Assign stores it into
+	// its variable (§4.3).
+	graph.RegisterOp(&graph.OpDef{
+		Type: "Restore", MinInputs: 1, MaxInputs: 1, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			if in[0].DType != tensor.String {
+				return nil, fmt.Errorf("Restore filename must be a string")
+			}
+			if n.AttrString("tensor_name", "") == "" {
+				return nil, fmt.Errorf("Restore needs a tensor_name attribute")
+			}
+			dt := n.AttrDType("dt", tensor.Float32)
+			if shape, ok := n.AttrShape("shape_hint"); ok {
+				return []graph.IOSpec{{DType: dt, Shape: shape.Clone()}}, nil
+			}
+			return []graph.IOSpec{unknownSpec(dt, 0)}, nil
+		},
+	})
+	RegisterBlockingKernel("Restore", "CPU", func(ctx *OpContext) error {
+		filename, err := ctx.Input(0)
+		if err != nil {
+			return err
+		}
+		t, err := checkpoint.ReadTensor(filename.Strings()[0], ctx.Node.AttrString("tensor_name", ""))
+		if err != nil {
+			return err
+		}
+		if want := ctx.Node.AttrDType("dt", t.DType()); want != t.DType() {
+			return fmt.Errorf("Restore: tensor %q has dtype %v, graph expects %v",
+				ctx.Node.AttrString("tensor_name", ""), t.DType(), want)
+		}
+		ctx.SetOutput(0, t)
+		return nil
+	})
+}

@@ -1,0 +1,212 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/queue"
+	"repro/internal/tensor"
+)
+
+func init() {
+	registerQueueOps()
+}
+
+// queueComponentSpecs reads the component_types/shapes attributes shared by
+// the queue creation and dequeue ops.
+func queueComponentSpecs(n *graph.Node) ([]graph.IOSpec, error) {
+	types, ok := n.Attr("component_types").([]tensor.DType)
+	if !ok || len(types) == 0 {
+		return nil, fmt.Errorf("%s needs a component_types attribute", n.Op())
+	}
+	shapes, _ := n.Attr("shapes").([]tensor.Shape)
+	specs := make([]graph.IOSpec, len(types))
+	for i, dt := range types {
+		spec := graph.IOSpec{DType: dt, Shape: tensor.Shape{-1}}
+		if i < len(shapes) {
+			spec.Shape = shapes[i].Clone()
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+func queueResourceName(n *graph.Node) string {
+	return n.AttrString("shared_name", n.Name())
+}
+
+func registerQueueOps() {
+	queueInfer := func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+		if _, err := queueComponentSpecs(n); err != nil {
+			return nil, err
+		}
+		return []graph.IOSpec{{DType: tensor.Invalid, IsRef: true, Shape: tensor.ScalarShape()}}, nil
+	}
+
+	// FIFOQueue — the workhorse of input pipelines and the synchronous
+	// training barrier (§3.1, §4.4).
+	graph.RegisterOp(&graph.OpDef{Type: "FIFOQueue", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: queueInfer})
+	RegisterKernel("FIFOQueue", "CPU", func(ctx *OpContext) error {
+		capacity := ctx.Node.AttrInt("capacity", 32)
+		q := ctx.Resources.FindOrCreateQueue(queueResourceName(ctx.Node), func() queue.Queue {
+			return queue.NewFIFO(capacity)
+		})
+		ctx.SetOutputRef(0, &Resource{Kind: ResourceQueue, Name: queueResourceName(ctx.Node), Queue: q})
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{Type: "RandomShuffleQueue", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: queueInfer})
+	RegisterKernel("RandomShuffleQueue", "CPU", func(ctx *OpContext) error {
+		capacity := ctx.Node.AttrInt("capacity", 32)
+		minAfter := ctx.Node.AttrInt("min_after_dequeue", 0)
+		seed := int64(ctx.Node.AttrInt("seed", ctx.Node.ID()+1))
+		q := ctx.Resources.FindOrCreateQueue(queueResourceName(ctx.Node), func() queue.Queue {
+			return queue.NewShuffle(capacity, minAfter, seed)
+		})
+		ctx.SetOutputRef(0, &Resource{Kind: ResourceQueue, Name: queueResourceName(ctx.Node), Queue: q})
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{Type: "PaddingFIFOQueue", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: queueInfer})
+	RegisterKernel("PaddingFIFOQueue", "CPU", func(ctx *OpContext) error {
+		capacity := ctx.Node.AttrInt("capacity", 32)
+		q := ctx.Resources.FindOrCreateQueue(queueResourceName(ctx.Node), func() queue.Queue {
+			return queue.NewPaddingFIFO(capacity)
+		})
+		ctx.SetOutputRef(0, &Resource{Kind: ResourceQueue, Name: queueResourceName(ctx.Node), Queue: q})
+		return nil
+	})
+
+	// QueueEnqueue(queue, components...) blocks while the queue is full —
+	// this blocking is what provides backpressure in input pipelines
+	// (§3.1) and the update barrier in synchronous replication (§4.4).
+	enqueueInfer := func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+		if !in[0].IsRef {
+			return nil, fmt.Errorf("%s input 0 must be a queue reference", n.Op())
+		}
+		return nil, nil
+	}
+	graph.RegisterOp(&graph.OpDef{Type: "QueueEnqueue", MinInputs: 2, MaxInputs: -1, Stateful: true, Infer: enqueueInfer})
+	RegisterBlockingKernel("QueueEnqueue", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		elem := make(queue.Element, len(ctx.Inputs)-1)
+		for i := range elem {
+			t, err := ctx.Input(i + 1)
+			if err != nil {
+				return err
+			}
+			elem[i] = t
+		}
+		return q.Enqueue(elem, ctx.Abort)
+	})
+
+	graph.RegisterOp(&graph.OpDef{Type: "QueueEnqueueMany", MinInputs: 2, MaxInputs: -1, Stateful: true, Infer: enqueueInfer})
+	RegisterBlockingKernel("QueueEnqueueMany", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		batch := make(queue.Element, len(ctx.Inputs)-1)
+		for i := range batch {
+			t, err := ctx.Input(i + 1)
+			if err != nil {
+				return err
+			}
+			batch[i] = t
+		}
+		return q.EnqueueMany(batch, ctx.Abort)
+	})
+
+	dequeueInfer := func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+		if !in[0].IsRef {
+			return nil, fmt.Errorf("%s input 0 must be a queue reference", n.Op())
+		}
+		return queueComponentSpecs(n)
+	}
+	graph.RegisterOp(&graph.OpDef{Type: "QueueDequeue", MinInputs: 1, MaxInputs: 1, Stateful: true, Infer: dequeueInfer})
+	RegisterBlockingKernel("QueueDequeue", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		elem, err := q.Dequeue(ctx.Abort)
+		if err != nil {
+			return err
+		}
+		if len(elem) != ctx.Node.NumOutputs() {
+			return fmt.Errorf("QueueDequeue got %d components, node declares %d", len(elem), ctx.Node.NumOutputs())
+		}
+		for i, t := range elem {
+			ctx.SetOutput(i, t)
+		}
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{
+		Type: "QueueDequeueMany", MinInputs: 1, MaxInputs: 1, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			specs, err := dequeueInfer(n, in)
+			if err != nil {
+				return nil, err
+			}
+			nElems := n.AttrInt("n", 1)
+			for i := range specs {
+				specs[i].Shape = append(tensor.Shape{nElems}, specs[i].Shape...)
+			}
+			return specs, nil
+		},
+	})
+	RegisterBlockingKernel("QueueDequeueMany", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		elem, err := q.DequeueMany(ctx.Node.AttrInt("n", 1), ctx.Abort)
+		if err != nil {
+			return err
+		}
+		for i, t := range elem {
+			ctx.SetOutput(i, t)
+		}
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{
+		Type: "QueueClose", MinInputs: 1, MaxInputs: 1, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			if !in[0].IsRef {
+				return nil, fmt.Errorf("QueueClose input must be a queue reference")
+			}
+			return nil, nil
+		},
+	})
+	RegisterKernel("QueueClose", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		q.Close()
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{
+		Type: "QueueSize", MinInputs: 1, MaxInputs: 1, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			if !in[0].IsRef {
+				return nil, fmt.Errorf("QueueSize input must be a queue reference")
+			}
+			return []graph.IOSpec{scalarSpec(tensor.Int32)}, nil
+		},
+	})
+	RegisterKernel("QueueSize", "CPU", func(ctx *OpContext) error {
+		q, err := ctx.InputQueue(0)
+		if err != nil {
+			return err
+		}
+		ctx.SetOutput(0, tensor.ScalarInt(int32(q.Size())))
+		return nil
+	})
+}

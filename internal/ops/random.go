@@ -1,0 +1,104 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func init() {
+	registerRandomOps()
+}
+
+// nodeRNG returns the node's deterministic random stream: seeded from the
+// "seed" attribute (which the client library derives from the graph seed),
+// keyed by node name so every random op owns an independent stream.
+func nodeRNG(ctx *OpContext) *tensor.RNG {
+	seed := int64(ctx.Node.AttrInt("seed", 0))
+	if seed == 0 {
+		seed = int64(ctx.Node.ID()) + 1
+	}
+	return ctx.Resources.RNG("rng/"+ctx.Node.Name(), seed)
+}
+
+func randomShapeInfer(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+	shape, ok := n.AttrShape("shape")
+	if !ok {
+		return nil, fmt.Errorf("%s needs a shape attribute", n.Op())
+	}
+	return []graph.IOSpec{{DType: n.AttrDType("dtype", tensor.Float32), Shape: shape.Clone()}}, nil
+}
+
+func registerRandomOps() {
+	graph.RegisterOp(&graph.OpDef{Type: "RandomUniform", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: randomShapeInfer})
+	RegisterKernel("RandomUniform", "CPU", func(ctx *OpContext) error {
+		shape, _ := ctx.Node.AttrShape("shape")
+		lo := ctx.Node.AttrFloat("minval", 0)
+		hi := ctx.Node.AttrFloat("maxval", 1)
+		ctx.SetOutput(0, nodeRNG(ctx).Uniform(ctx.Node.AttrDType("dtype", tensor.Float32), shape, lo, hi))
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{Type: "RandomStandardNormal", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: randomShapeInfer})
+	RegisterKernel("RandomStandardNormal", "CPU", func(ctx *OpContext) error {
+		shape, _ := ctx.Node.AttrShape("shape")
+		mean := ctx.Node.AttrFloat("mean", 0)
+		stddev := ctx.Node.AttrFloat("stddev", 1)
+		ctx.SetOutput(0, nodeRNG(ctx).Normal(ctx.Node.AttrDType("dtype", tensor.Float32), shape, mean, stddev))
+		return nil
+	})
+
+	graph.RegisterOp(&graph.OpDef{Type: "TruncatedNormal", MinInputs: 0, MaxInputs: 0, Stateful: true, Infer: randomShapeInfer})
+	RegisterKernel("TruncatedNormal", "CPU", func(ctx *OpContext) error {
+		shape, _ := ctx.Node.AttrShape("shape")
+		mean := ctx.Node.AttrFloat("mean", 0)
+		stddev := ctx.Node.AttrFloat("stddev", 1)
+		ctx.SetOutput(0, nodeRNG(ctx).TruncatedNormal(ctx.Node.AttrDType("dtype", tensor.Float32), shape, mean, stddev))
+		return nil
+	})
+
+	// RandomUniformInt draws integers in [0, maxval).
+	graph.RegisterOp(&graph.OpDef{
+		Type: "RandomUniformInt", MinInputs: 0, MaxInputs: 0, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			shape, ok := n.AttrShape("shape")
+			if !ok {
+				return nil, fmt.Errorf("RandomUniformInt needs a shape attribute")
+			}
+			if n.AttrInt("maxval", 0) <= 0 {
+				return nil, fmt.Errorf("RandomUniformInt needs a positive maxval")
+			}
+			return []graph.IOSpec{{DType: n.AttrDType("dtype", tensor.Int32), Shape: shape.Clone()}}, nil
+		},
+	})
+	RegisterKernel("RandomUniformInt", "CPU", func(ctx *OpContext) error {
+		shape, _ := ctx.Node.AttrShape("shape")
+		ctx.SetOutput(0, nodeRNG(ctx).UniformInt(ctx.Node.AttrDType("dtype", tensor.Int32), shape, ctx.Node.AttrInt("maxval", 1)))
+		return nil
+	})
+
+	// LogUniformCandidateSampler draws the false-class candidates for
+	// sampled softmax (§4.2/§6.4): ids skew toward frequent (small) ids.
+	// Outputs: sampled ids [num_sampled] and their expected counts.
+	graph.RegisterOp(&graph.OpDef{
+		Type: "LogUniformCandidateSampler", MinInputs: 0, MaxInputs: 0, Stateful: true,
+		Infer: func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+			num := n.AttrInt("num_sampled", 0)
+			if num <= 0 || n.AttrInt("range_max", 0) <= 0 {
+				return nil, fmt.Errorf("LogUniformCandidateSampler needs num_sampled and range_max")
+			}
+			return []graph.IOSpec{
+				{DType: tensor.Int32, Shape: tensor.Shape{num}},
+				{DType: tensor.Float32, Shape: tensor.Shape{num}},
+			}, nil
+		},
+	})
+	RegisterKernel("LogUniformCandidateSampler", "CPU", func(ctx *OpContext) error {
+		ids, expected := nodeRNG(ctx).LogUniformSample(
+			ctx.Node.AttrInt("num_sampled", 1), ctx.Node.AttrInt("range_max", 1))
+		ctx.SetOutput(0, ids)
+		ctx.SetOutput(1, expected)
+		return nil
+	})
+}

@@ -1,0 +1,137 @@
+// Package placement implements the device placement algorithm of §3.3:
+// "the placement algorithm computes a feasible set of devices for each
+// operation, calculates the sets of operations that must be colocated, and
+// selects a satisfying device for each colocation group."
+package placement
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+)
+
+// Assignment maps node IDs to concrete devices.
+type Assignment map[int]device.Spec
+
+// Place assigns every node in the set (nil = all nodes) to one of the
+// available devices. Nodes carry (possibly partial) constraints from the
+// client ("any device in a particular task", §3.3); stateful operations and
+// the operations that use their state are colocated via reference edges.
+func Place(g *graph.Graph, set graph.NodeSet, devices []device.Spec, defaultDev device.Spec) (Assignment, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("placement: no devices")
+	}
+	for _, d := range devices {
+		if !d.IsFull() {
+			return nil, fmt.Errorf("placement: device %v is not fully specified", d)
+		}
+	}
+
+	nodes := g.Nodes()
+	inSet := func(n *graph.Node) bool { return set == nil || set[n.ID()] }
+
+	// Union-find over colocation groups.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, n := range nodes {
+		if inSet(n) {
+			parent[n.ID()] = n.ID()
+		}
+	}
+
+	// Implicit colocation: a consumer of a reference edge must live with
+	// the state's owner (§3.3: "stateful operations and operations [that
+	// use] their state must be placed on the same device").
+	for _, n := range nodes {
+		if !inSet(n) {
+			continue
+		}
+		for _, in := range n.Inputs() {
+			if in.Spec().IsRef && inSet(in.Node) {
+				union(n.ID(), in.Node.ID())
+			}
+		}
+	}
+
+	// Merge the device constraints of each group.
+	groupConstraint := map[int]device.Spec{}
+	for _, n := range nodes {
+		if !inSet(n) {
+			continue
+		}
+		spec, err := device.ParseSpec(n.Device())
+		if err != nil {
+			return nil, fmt.Errorf("placement: node %s: %w", n.Name(), err)
+		}
+		root := find(n.ID())
+		cur, ok := groupConstraint[root]
+		if !ok {
+			cur = device.Spec{Task: -1, ID: -1}
+		}
+		merged, err := cur.Merge(spec)
+		if err != nil {
+			return nil, fmt.Errorf("placement: colocation group of %s has conflicting constraints: %w", n.Name(), err)
+		}
+		groupConstraint[root] = merged
+	}
+
+	// Pick a satisfying device per group: the default device when it
+	// matches, else the first matching device.
+	groupDevice := map[int]device.Spec{}
+	for root, constraint := range groupConstraint {
+		var chosen *device.Spec
+		if defaultDev.IsFull() && defaultDev.Matches(constraint) {
+			d := defaultDev
+			chosen = &d
+		} else {
+			for _, d := range devices {
+				if d.Matches(constraint) {
+					d := d
+					chosen = &d
+					break
+				}
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("placement: no device satisfies constraint %q (group of node %s)",
+				constraint.String(), g.Node(root).Name())
+		}
+		groupDevice[root] = *chosen
+	}
+
+	out := make(Assignment)
+	for _, n := range nodes {
+		if !inSet(n) {
+			continue
+		}
+		out[n.ID()] = groupDevice[find(n.ID())]
+	}
+	return out, nil
+}
+
+// Devices returns the distinct devices used by the assignment.
+func (a Assignment) Devices() []device.Spec {
+	seen := map[string]bool{}
+	var out []device.Spec
+	for _, d := range a {
+		if !seen[d.String()] {
+			seen[d.String()] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}

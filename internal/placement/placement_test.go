@@ -1,0 +1,154 @@
+package placement_test
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	_ "repro/internal/ops"
+	"repro/internal/placement"
+	"repro/internal/tensor"
+)
+
+func devs(t *testing.T, names ...string) []device.Spec {
+	t.Helper()
+	out := make([]device.Spec, len(names))
+	for i, n := range names {
+		spec, err := device.ParseSpec(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = spec
+	}
+	return out
+}
+
+func TestPlaceRespectsExplicitConstraints(t *testing.T) {
+	g := graph.New()
+	a, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "a", Attrs: map[string]any{"value": tensor.Scalar(1)},
+		Device: "/job:worker/task:1",
+	})
+	b, _ := g.AddNode("Neg", []graph.Endpoint{a.Out(0)}, graph.NodeArgs{Name: "b"})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:worker/task:0/device:CPU:0", "/job:worker/task:1/device:CPU:0")
+	asg, err := placement.Place(g, nil, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[a.ID()].String() != "/job:worker/task:1/device:CPU:0" {
+		t.Errorf("a placed on %v", asg[a.ID()])
+	}
+	// Unconstrained node falls to the default device.
+	if asg[b.ID()].String() != cluster[0].String() {
+		t.Errorf("b placed on %v, want default", asg[b.ID()])
+	}
+}
+
+func TestPlaceColocatesStatefulUsers(t *testing.T) {
+	g := graph.New()
+	v, _ := g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:   "v",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:1",
+	})
+	read, _ := g.AddNode("Read", []graph.Endpoint{v.Out(0)}, graph.NodeArgs{Name: "read"})
+	c, _ := g.AddNode("Const", nil, graph.NodeArgs{Name: "c", Attrs: map[string]any{"value": tensor.Scalar(1)}})
+	assign, _ := g.AddNode("Assign", []graph.Endpoint{v.Out(0), c.Out(0)}, graph.NodeArgs{Name: "assign"})
+
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:ps/task:1/device:CPU:0", "/job:worker/task:0/device:CPU:0")
+	asg, err := placement.Place(g, nil, cluster, cluster[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "/job:ps/task:1/device:CPU:0"
+	// §3.3: ops touching a reference edge are colocated with the state.
+	for _, n := range []int{v.ID(), read.ID(), assign.ID()} {
+		if asg[n].String() != want {
+			t.Errorf("node %d on %v, want %s", n, asg[n], want)
+		}
+	}
+}
+
+func TestPlaceDetectsConflicts(t *testing.T) {
+	g := graph.New()
+	v, _ := g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:   "v",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:0",
+	})
+	// A reader pinned to a different task conflicts with colocation.
+	if _, err := g.AddNode("Read", []graph.Endpoint{v.Out(0)}, graph.NodeArgs{
+		Name: "read", Device: "/job:worker/task:0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:worker/task:0/device:CPU:0")
+	if _, err := placement.Place(g, nil, cluster, cluster[0]); err == nil {
+		t.Error("conflicting colocation constraints accepted")
+	}
+}
+
+func TestPlaceUnsatisfiableConstraint(t *testing.T) {
+	g := graph.New()
+	g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "a", Attrs: map[string]any{"value": tensor.Scalar(1)},
+		Device: "/job:gpuzone/task:3",
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0")
+	if _, err := placement.Place(g, nil, cluster, cluster[0]); err == nil {
+		t.Error("unsatisfiable constraint accepted")
+	}
+}
+
+func TestPartialConstraintMatchesAnyTask(t *testing.T) {
+	// "any device in a particular job" (§3.3).
+	g := graph.New()
+	a, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "a", Attrs: map[string]any{"value": tensor.Scalar(1)},
+		Device: "/job:worker",
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:worker/task:7/device:CPU:0")
+	asg, err := placement.Place(g, nil, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[a.ID()].Job != "worker" {
+		t.Errorf("partial constraint placed on %v", asg[a.ID()])
+	}
+}
+
+func TestDeviceSpecParsing(t *testing.T) {
+	spec, err := device.ParseSpec("/job:ps/task:3/device:GPU:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Job != "ps" || spec.Task != 3 || spec.Type != "GPU" || spec.ID != 1 {
+		t.Errorf("parsed %+v", spec)
+	}
+	if !spec.IsFull() {
+		t.Error("full spec misreported")
+	}
+	if spec.String() != "/job:ps/task:3/device:GPU:1" {
+		t.Errorf("round trip = %q", spec.String())
+	}
+	partial, err := device.ParseSpec("/job:worker")
+	if err != nil || partial.IsFull() {
+		t.Errorf("partial spec: %+v err=%v", partial, err)
+	}
+	if !spec.Matches(partial) == (spec.Job == "worker") {
+		t.Error("Matches logic inverted")
+	}
+	if _, err := device.ParseSpec("/bogus:1"); err == nil {
+		t.Error("bad component accepted")
+	}
+	if _, err := device.ParseSpec("/job:a/task:x"); err == nil {
+		t.Error("bad task accepted")
+	}
+	merged, err := partial.Merge(device.Spec{Task: 2, ID: -1})
+	if err != nil || merged.Task != 2 || merged.Job != "worker" {
+		t.Errorf("Merge = %+v, %v", merged, err)
+	}
+	if _, err := spec.Merge(device.Spec{Job: "other", Task: -1, ID: -1}); err == nil {
+		t.Error("conflicting merge accepted")
+	}
+}

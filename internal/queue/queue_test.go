@@ -1,0 +1,292 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func elem(vals ...float32) Element {
+	return Element{tensor.FromFloat32s(tensor.Shape{len(vals)}, vals)}
+}
+
+var never = make(chan struct{})
+
+func TestFIFOOrdering(t *testing.T) {
+	q := NewFIFO(10)
+	for i := 0; i < 5; i++ {
+		if err := q.Enqueue(elem(float32(i)), never); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Size() != 5 {
+		t.Errorf("size = %d", q.Size())
+	}
+	for i := 0; i < 5; i++ {
+		e, err := q.Dequeue(never)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e[0].FloatAt(0) != float64(i) {
+			t.Fatalf("dequeue %d returned %v", i, e[0])
+		}
+	}
+}
+
+func TestFIFOBlocksWhenFullAndEmpty(t *testing.T) {
+	q := NewFIFO(1)
+	if err := q.Enqueue(elem(1), never); err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue blocks until a dequeue frees space.
+	done := make(chan error, 1)
+	go func() {
+		done <- q.Enqueue(elem(2), never)
+	}()
+	select {
+	case <-done:
+		t.Fatal("enqueue should block on a full queue")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := q.Dequeue(never); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Drain the queue, then verify Dequeue blocks until an enqueue.
+	if _, err := q.Dequeue(never); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Element, 1)
+	go func() {
+		e, _ := q.Dequeue(never)
+		got <- e
+	}()
+	select {
+	case e := <-got:
+		t.Fatalf("dequeue on empty queue returned %v", e)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := q.Enqueue(elem(9), never); err != nil {
+		t.Fatal(err)
+	}
+	e := <-got
+	if e[0].FloatAt(0) != 9 {
+		t.Fatalf("unexpected element %v", e[0])
+	}
+}
+
+func TestAbortUnblocksWaiters(t *testing.T) {
+	q := NewFIFO(1)
+	abort := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := q.Dequeue(abort)
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(abort)
+	if err := <-errCh; err != ErrAborted {
+		t.Errorf("aborted dequeue returned %v", err)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := NewFIFO(10)
+	if err := q.Enqueue(elem(1), never); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if !q.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	// Enqueue after close fails.
+	if err := q.Enqueue(elem(2), never); err != ErrClosed {
+		t.Errorf("enqueue after close: %v", err)
+	}
+	// Dequeue drains the remaining element, then fails.
+	if _, err := q.Dequeue(never); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Dequeue(never); err != ErrClosed {
+		t.Errorf("dequeue after drain: %v", err)
+	}
+}
+
+func TestEnqueueManyDequeueManyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 1 + int(uint(seed)%6)
+		q := NewFIFO(n + 2)
+		batch := Element{tensor.NewRNG(seed).Uniform(tensor.Float32, tensor.Shape{n, 3}, -1, 1)}
+		if err := q.EnqueueMany(batch, never); err != nil {
+			return false
+		}
+		out, err := q.DequeueMany(n, never)
+		if err != nil {
+			return false
+		}
+		return out[0].Equal(batch[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiComponentElements(t *testing.T) {
+	q := NewFIFO(4)
+	e := Element{
+		tensor.Scalar(1),
+		tensor.ScalarInt(7),
+	}
+	if err := q.Enqueue(e, never); err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.Dequeue(never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[1].IntAt(0) != 7 {
+		t.Errorf("round trip = %v", out)
+	}
+}
+
+func TestShuffleQueueReturnsAllElements(t *testing.T) {
+	q := NewShuffle(20, 0, 42)
+	want := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		want[float64(i)] = true
+		if err := q.Enqueue(elem(float32(i)), never); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order := make([]float64, 0, 10)
+	for i := 0; i < 10; i++ {
+		e, err := q.Dequeue(never)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := e[0].FloatAt(0)
+		if !want[v] {
+			t.Fatalf("unexpected or duplicate element %v", v)
+		}
+		delete(want, v)
+		order = append(order, v)
+	}
+	// With this seed the order must differ from FIFO (probability of
+	// failure ~1/10! for an unlucky seed; 42 shuffles).
+	inOrder := true
+	for i, v := range order {
+		if v != float64(i) {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Error("shuffle queue returned FIFO order")
+	}
+}
+
+func TestShuffleMinAfterDequeueHoldsBack(t *testing.T) {
+	q := NewShuffle(10, 3, 1)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(elem(float32(i)), never); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only 3 elements buffered = minAfterDequeue → dequeue must block.
+	done := make(chan struct{})
+	go func() {
+		q.Dequeue(never)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("dequeue should wait for min_after_dequeue+1 elements")
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := q.Enqueue(elem(9), never); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// After close, the buffer drains below the minimum.
+	q.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := q.Dequeue(never); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+}
+
+func TestPaddingFIFOPadsToLargest(t *testing.T) {
+	q := NewPaddingFIFO(4)
+	a := Element{tensor.FromFloat32s(tensor.Shape{2}, []float32{1, 2})}
+	b := Element{tensor.FromFloat32s(tensor.Shape{3}, []float32{3, 4, 5})}
+	if err := q.Enqueue(a, never); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(b, never); err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.DequeueMany(2, never)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Shape().Equal(tensor.Shape{2, 3}) {
+		t.Fatalf("padded shape = %v", out[0].Shape())
+	}
+	got := out[0].Float32s()
+	want := []float32{1, 2, 0, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("padded batch = %v", got)
+		}
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := NewFIFO(8)
+	const producers, perProducer = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(elem(float32(p*1000+i)), never); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := map[float64]bool{}
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				e, err := q.Dequeue(never)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				if seen[e[0].FloatAt(0)] {
+					t.Errorf("element %v delivered twice", e[0])
+				}
+				seen[e[0].FloatAt(0)] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Errorf("saw %d distinct elements, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -1,0 +1,122 @@
+package simcluster
+
+import "math"
+
+// LMConfig parameterizes the §6.4 language-model experiment: LSTM-512-512
+// workers over the One Billion Word Benchmark with a 40k-word vocabulary,
+// where the softmax weight matrix is sharded over the PS tasks and the
+// multiplication and gradient calculation run on the PS tasks themselves
+// (distributed model parallelism, as in Project Adam).
+type LMConfig struct {
+	Workers int
+	PSTasks int
+	// Sampled selects sampled softmax (512 candidates) instead of the
+	// full 40k-way softmax.
+	Sampled bool
+
+	// WordsPerStep is the mini-batch in words (batch × unroll).
+	WordsPerStep float64
+	// LSTMTimePerWord is the worker-side recurrent compute per word.
+	LSTMTimePerWord float64
+	// SoftmaxCPUPerWord is the PS-side full-softmax compute per word
+	// (split across the PS tasks); sampled softmax divides it by
+	// VocabSize/NumSampled ≈ 78 (§6.4).
+	SoftmaxCPUPerWord float64
+	// HiddenBytesPerWord is the activation/gradient traffic per word
+	// (hidden state out, gradient back).
+	HiddenBytesPerWord float64
+
+	VocabSize  int
+	NumSampled int
+
+	StragglerSigma float64
+	Seed           int64
+}
+
+// DefaultLMConfig returns the calibrated §6.4 configuration.
+func DefaultLMConfig(workers, psTasks int, sampled bool) LMConfig {
+	return LMConfig{
+		Workers:            workers,
+		PSTasks:            psTasks,
+		Sampled:            sampled,
+		WordsPerStep:       128 * 20,
+		LSTMTimePerWord:    2.5e-3,
+		SoftmaxCPUPerWord:  3.0e-3,
+		HiddenBytesPerWord: 2 * 512 * 4,
+		VocabSize:          40000,
+		NumSampled:         512,
+		StragglerSigma:     0.08,
+		Seed:               1,
+	}
+}
+
+// SimulateLM runs asynchronous LM training for the given number of steps
+// per worker and returns aggregate throughput in words/second.
+func SimulateLM(cfg LMConfig, steps int) float64 {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := NewSim(cfg.Seed)
+	type psCPU struct {
+		free float64
+		link *SharedLink
+	}
+	ps := make([]*psCPU, cfg.PSTasks)
+	for i := range ps {
+		ps[i] = &psCPU{link: NewSharedLink(s, 1.9e9, 127e6)}
+	}
+
+	softmaxPerWord := cfg.SoftmaxCPUPerWord
+	if cfg.Sampled {
+		// §6.4: sampling 512 of 40,000 classes "reduces the softmax
+		// data transfer and computation by a factor of 78".
+		softmaxPerWord /= float64(cfg.VocabSize) / float64(cfg.NumSampled)
+	}
+	// Per step, each PS shard handles 1/p of the softmax work and
+	// traffic.
+	psWork := cfg.WordsPerStep * softmaxPerWord / float64(cfg.PSTasks)
+	psBytes := cfg.WordsPerStep * cfg.HiddenBytesPerWord / float64(cfg.PSTasks)
+	if cfg.Sampled {
+		psBytes /= float64(cfg.VocabSize) / float64(cfg.NumSampled)
+		// The transfer can't shrink below the hidden states themselves.
+		psBytes = math.Max(psBytes, cfg.WordsPerStep*512*4/float64(cfg.PSTasks)*0.05)
+	}
+
+	var wordsDone float64
+	var loop func(worker, step int)
+	loop = func(worker, step int) {
+		if step >= steps {
+			return
+		}
+		lstm := cfg.WordsPerStep * cfg.LSTMTimePerWord * s.LogNormal(cfg.StragglerSigma)
+		s.After(lstm, func() {
+			remaining := cfg.PSTasks
+			for _, p := range ps {
+				p := p
+				// Ship activations to the shard…
+				p.link.StartFlow(psBytes, func() {
+					// …then queue on its CPU for the softmax matmul
+					// and gradient (§6.4: "perform the multiplication
+					// and gradient calculation on the PS tasks").
+					start := math.Max(p.free, s.Now())
+					p.free = start + psWork
+					s.At(p.free, func() {
+						remaining--
+						if remaining == 0 {
+							wordsDone += cfg.WordsPerStep
+							loop(worker, step+1)
+						}
+					})
+				})
+			}
+		})
+	}
+	for wi := 0; wi < cfg.Workers; wi++ {
+		loop(wi, 0)
+	}
+	s.Run(math.Inf(1))
+	if s.Now() == 0 {
+		return 0
+	}
+	return wordsDone / s.Now()
+}

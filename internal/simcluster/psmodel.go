@@ -1,0 +1,265 @@
+package simcluster
+
+import (
+	"math"
+)
+
+// ClusterConfig parameterizes a simulated PS/worker training cluster
+// (Figures 6–8). Defaults are calibrated against the paper's measured
+// points; EXPERIMENTS.md records the calibration.
+type ClusterConfig struct {
+	Workers int
+	PSTasks int
+	// Backup workers (§4.4, Figure 4c): Workers+Backups replicas run, the
+	// first Workers gradient pushes complete a synchronous step.
+	Backups int
+	Sync    bool
+
+	// Per-step parameter traffic per worker, in bytes, split evenly over
+	// the PS tasks. Fetch and push each move this much.
+	ModelBytes float64
+	// Sparse steps access a fixed number of rows regardless of model
+	// size (§6.2 Sparse curves): when > 0 it overrides ModelBytes.
+	SparseBytes float64
+
+	// ComputeTime is the median per-step worker compute (0 for null
+	// steps); StragglerSigma and SpikeProb shape the tail.
+	ComputeTime    float64
+	StragglerSigma float64
+	SpikeProb      float64
+
+	// PS NIC model: aggregate bytes/sec, per-flow cap, and a per-request
+	// CPU overhead (serialization + update aggregation) charged serially
+	// at the PS.
+	PSBandwidth float64
+	FlowCap     float64
+	RequestCPU  float64
+	// RTTLatency is charged once per fetch phase and once per push.
+	RTTLatency float64
+	// SyncApplyTime is the coordinator's cost to apply the aggregated
+	// update and release the barrier.
+	SyncApplyTime float64
+
+	Seed int64
+}
+
+// withDefaults fills unset fields with the calibrated defaults.
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.PSBandwidth == 0 {
+		c.PSBandwidth = 1.9e9 // ~2×10GbE effective at the PS NIC
+	}
+	if c.FlowCap == 0 {
+		c.FlowCap = 127e6 // single-stream TCP on the shared network
+	}
+	if c.RequestCPU == 0 {
+		c.RequestCPU = 40e-6
+	}
+	if c.RTTLatency == 0 {
+		c.RTTLatency = 0.8e-3
+	}
+	if c.SyncApplyTime == 0 {
+		c.SyncApplyTime = 0.1e-3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// StepStats summarizes a simulated run.
+type StepStats struct {
+	// StepTimes are per-step wall-clock durations (sync: barrier to
+	// barrier; async: per-worker step times pooled).
+	StepTimes []float64
+	// Throughput is steps/sec (sync) or aggregate worker-steps/sec
+	// (async).
+	Throughput float64
+}
+
+// Median returns the median step time.
+func (st StepStats) Median() float64 { return Percentile(st.StepTimes, 50) }
+
+// P10 returns the 10th percentile step time.
+func (st StepStats) P10() float64 { return Percentile(st.StepTimes, 10) }
+
+// P90 returns the 90th percentile step time.
+func (st StepStats) P90() float64 { return Percentile(st.StepTimes, 90) }
+
+// psTask is one simulated parameter-server task: a shared NIC plus a serial
+// CPU queue for request handling and update aggregation.
+type psTask struct {
+	link    *SharedLink
+	cpuFree float64 // next time the request CPU is free
+}
+
+// handleRequest charges the request CPU serially, then starts the transfer;
+// done fires when the bytes have moved.
+func (p *psTask) handleRequest(s *Sim, bytes, cpu float64, done func()) {
+	start := math.Max(p.cpuFree, s.Now())
+	p.cpuFree = start + cpu
+	s.At(p.cpuFree, func() {
+		p.link.StartFlow(bytes, done)
+	})
+}
+
+// SimulateCluster runs the training cluster for `steps` synchronous rounds
+// (or until each worker has completed `steps` asynchronous steps) and
+// reports step-time statistics.
+func SimulateCluster(cfg ClusterConfig, steps int) StepStats {
+	cfg = cfg.withDefaults()
+	s := NewSim(cfg.Seed)
+	ps := make([]*psTask, cfg.PSTasks)
+	for i := range ps {
+		ps[i] = &psTask{link: NewSharedLink(s, cfg.PSBandwidth, cfg.FlowCap)}
+	}
+	perPS := cfg.ModelBytes / float64(cfg.PSTasks)
+	if cfg.SparseBytes > 0 {
+		perPS = cfg.SparseBytes / float64(cfg.PSTasks)
+	}
+
+	total := cfg.Workers + cfg.Backups
+	stats := StepStats{}
+
+	// phase runs one worker's fetch→compute→push pipeline and calls done
+	// at push completion.
+	phase := func(worker int, done func()) {
+		remainingFetch := cfg.PSTasks
+		onFetched := func() {
+			remainingFetch--
+			if remainingFetch > 0 {
+				return
+			}
+			compute := cfg.ComputeTime * s.StragglerTail(cfg.StragglerSigma, cfg.SpikeProb)
+			s.After(compute, func() {
+				remainingPush := cfg.PSTasks
+				for _, p := range ps {
+					p.handleRequest(s, perPS, cfg.RequestCPU, func() {
+						remainingPush--
+						if remainingPush == 0 {
+							s.After(cfg.RTTLatency/2, done)
+						}
+					})
+				}
+			})
+		}
+		s.After(cfg.RTTLatency/2, func() {
+			for _, p := range ps {
+				p.handleRequest(s, perPS, cfg.RequestCPU, onFetched)
+			}
+		})
+	}
+
+	if cfg.Sync {
+		// Synchronous rounds: all replicas start together; the round
+		// completes when the first cfg.Workers pushes land (§4.4);
+		// stragglers keep transferring into the next round, adding the
+		// extra PS load that makes the 5th backup counterproductive in
+		// Figure 8.
+		var runRound func(round int, roundStart float64)
+		runRound = func(round int, roundStart float64) {
+			if round >= steps {
+				return
+			}
+			arrived := 0
+			released := false
+			for wi := 0; wi < total; wi++ {
+				phase(wi, func() {
+					arrived++
+					if arrived == cfg.Workers && !released {
+						released = true
+						s.After(cfg.SyncApplyTime, func() {
+							now := s.Now()
+							stats.StepTimes = append(stats.StepTimes, now-roundStart)
+							runRound(round+1, now)
+						})
+					}
+				})
+			}
+		}
+		runRound(0, 0)
+		s.Run(math.Inf(1))
+		var sum float64
+		for _, t := range stats.StepTimes {
+			sum += t
+		}
+		if sum > 0 {
+			stats.Throughput = float64(len(stats.StepTimes)) / sum
+		}
+		return stats
+	}
+
+	// Asynchronous: every replica loops independently (Figure 4a).
+	var loop func(worker, step int, stepStart float64)
+	loop = func(worker, step int, stepStart float64) {
+		if step >= steps {
+			return
+		}
+		phase(worker, func() {
+			now := s.Now()
+			stats.StepTimes = append(stats.StepTimes, now-stepStart)
+			loop(worker, step+1, now)
+		})
+	}
+	for wi := 0; wi < total; wi++ {
+		loop(wi, 0, 0)
+	}
+	s.Run(math.Inf(1))
+	var sum float64
+	for _, t := range stats.StepTimes {
+		sum += t
+	}
+	if sum > 0 {
+		// Aggregate step rate: workers run in parallel.
+		mean := sum / float64(len(stats.StepTimes))
+		stats.Throughput = float64(total) / mean
+	}
+	return stats
+}
+
+// Figure6Config builds the §6.2 null-step configuration for one curve.
+// Payload kinds: "scalar", "dense", "sparse".
+func Figure6Config(workers int, kind string, modelBytes float64) ClusterConfig {
+	cfg := ClusterConfig{
+		Workers: workers,
+		PSTasks: 16,
+		Sync:    true,
+		// Null model: trivial compute (§6.2), small jitter from the
+		// shared cluster.
+		ComputeTime:    120e-6,
+		StragglerSigma: 0.08,
+	}
+	switch kind {
+	case "scalar":
+		cfg.ModelBytes = 4 * 16 // one 4-byte value per PS task
+	case "dense":
+		cfg.ModelBytes = modelBytes
+	case "sparse":
+		// 32 random embedding rows per step regardless of total model
+		// size — the flat Sparse curves of Figure 6.
+		cfg.SparseBytes = 32 * 100e3
+	}
+	return cfg
+}
+
+// InceptionConfig builds the §6.3 Inception-v3 training configuration:
+// 17 PS tasks, one K40 GPU per worker (median step compute calibrated so
+// asynchronous 25-worker training matches the paper's throughput), and
+// ~24M float parameters fetched and pushed per step.
+func InceptionConfig(workers, backups int, sync bool) ClusterConfig {
+	return ClusterConfig{
+		Workers: workers,
+		Backups: backups,
+		PSTasks: 17,
+		Sync:    sync,
+		// 24M float32 parameters, fetched and pushed each step.
+		ModelBytes: 24e6 * 4,
+		// K40 compute per step; the aggregate PS bandwidth of
+		// 17 × 0.8 GB/s caps total throughput at
+		// 13.6 GB/s ÷ 192 MB/step ≈ 71 steps/s ≈ 2270 images/s — the
+		// Figure 7a asymptote.
+		ComputeTime:    1.32,
+		PSBandwidth:    0.8e9,
+		StragglerSigma: 0.10,
+		SpikeProb:      0.02,
+	}
+}

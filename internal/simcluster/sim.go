@@ -1,0 +1,261 @@
+// Package simcluster is the hardware-substitution layer of this
+// reproduction (see DESIGN.md): a discrete-event simulator of PS/worker
+// clusters plus an analytic single-GPU cost model. The paper's evaluation
+// ran on hundreds of GPU machines and a shared production network; the
+// simulator reproduces the *shape* of those results — who wins, by what
+// factor, where curves bend — from explicit cost models: NIC bandwidth
+// sharing with per-flow caps, per-request parameter-server overhead,
+// log-normal straggler tails, and FLOP-derived compute times.
+package simcluster
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// Sim is a discrete-event simulation engine.
+type Sim struct {
+	now   float64
+	queue eventHeap
+	seq   int64
+	Rand  *rand.Rand
+}
+
+// NewSim creates an engine with a deterministic random source.
+func NewSim(seed int64) *Sim {
+	return &Sim{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (clamped to now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue empties or the time horizon passes.
+func (s *Sim) Run(horizon float64) {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.time > horizon {
+			s.now = horizon
+			return
+		}
+		s.now = ev.time
+		ev.fn()
+	}
+}
+
+type event struct {
+	time float64
+	seq  int64 // FIFO tie-break for determinism
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// LogNormal draws a log-normal multiplier with median 1 and the given sigma
+// — the straggler model for shared-cluster compute times (§6.3: "captures
+// some of the noise that we expect when running on a shared cluster").
+func (s *Sim) LogNormal(sigma float64) float64 {
+	return math.Exp(s.Rand.NormFloat64() * sigma)
+}
+
+// StragglerTail draws a heavy-tailed compute multiplier: log-normal body
+// with probability pSpike of an extra uniform 1.5–3× slowdown (background
+// load, preemption — the disproportionate tail impact seen in Figure 7c).
+func (s *Sim) StragglerTail(sigma, pSpike float64) float64 {
+	m := s.LogNormal(sigma)
+	if s.Rand.Float64() < pSpike {
+		m *= 1.4 + 0.9*s.Rand.Float64()
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs (copied, sorted).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sortFloats(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	idx := p / 100 * float64(len(cp)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+func sortFloats(xs []float64) {
+	// insertion sort is fine for the small sample sets used here; large
+	// sets use the stdlib path.
+	if len(xs) > 64 {
+		quickSort(xs, 0, len(xs)-1)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func quickSort(xs []float64, lo, hi int) {
+	for lo < hi {
+		p := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSort(xs, lo, j)
+			lo = i
+		} else {
+			quickSort(xs, i, hi)
+			hi = j
+		}
+	}
+}
+
+// SharedLink models one NIC as a processor-sharing server with a per-flow
+// rate cap: k concurrent flows each progress at min(FlowCap, Capacity/k).
+// This reproduces both regimes of Figure 6: a single worker is limited by
+// its flow rate, while many workers drive the parameter server's NIC to
+// full capacity and then queue.
+type SharedLink struct {
+	sim      *Sim
+	Capacity float64 // bytes/sec aggregate
+	FlowCap  float64 // bytes/sec per flow
+
+	flows    map[int64]*flow
+	nextID   int64
+	planned  int64   // id of the pending completion event
+	lastTime float64 // last progress update
+}
+
+type flow struct {
+	remaining float64
+	done      func()
+}
+
+// NewSharedLink attaches a link to the simulation.
+func NewSharedLink(sim *Sim, capacity, flowCap float64) *SharedLink {
+	return &SharedLink{sim: sim, Capacity: capacity, FlowCap: flowCap, flows: map[int64]*flow{}}
+}
+
+func (l *SharedLink) rate() float64 {
+	k := float64(len(l.flows))
+	if k == 0 {
+		return 0
+	}
+	return math.Min(l.FlowCap, l.Capacity/k)
+}
+
+// StartFlow begins transferring the given bytes; done fires at completion.
+func (l *SharedLink) StartFlow(bytes float64, done func()) {
+	l.advance()
+	l.nextID++
+	l.flows[l.nextID] = &flow{remaining: math.Max(bytes, 1), done: done}
+	l.reschedule()
+}
+
+// advance drains progress for the time elapsed since the last update.
+func (l *SharedLink) advance() {
+	elapsed := l.sim.now - l.lastTime
+	if elapsed > 0 && len(l.flows) > 0 {
+		r := l.rate()
+		for _, f := range l.flows {
+			f.remaining -= r * elapsed
+		}
+	}
+	l.lastTime = l.sim.now
+}
+
+// reschedule finds the next completing flow and schedules it.
+func (l *SharedLink) reschedule() {
+	if len(l.flows) == 0 {
+		return
+	}
+	r := l.rate()
+	minT := math.Inf(1)
+	for _, f := range l.flows {
+		t := f.remaining / r
+		if t < minT {
+			minT = t
+		}
+	}
+	l.planned++
+	plan := l.planned
+	// The added nanosecond keeps the event strictly after `now` even when
+	// minT is below the float64 resolution of a large absolute timestamp;
+	// without it a nearly-finished flow can livelock on zero-length
+	// event hops.
+	l.sim.After(math.Max(minT, 0)+1e-9, func() {
+		if plan != l.planned {
+			return // superseded by a newer arrival
+		}
+		l.complete()
+	})
+}
+
+// complete finishes every flow whose remaining bytes are within the float
+// resolution of zero at the current rate and simulation time.
+func (l *SharedLink) complete() {
+	l.advance()
+	eps := math.Max(1e-6, l.rate()*(1e-9+l.sim.now*1e-12))
+	var dones []func()
+	for id, f := range l.flows {
+		if f.remaining <= eps {
+			dones = append(dones, f.done)
+			delete(l.flows, id)
+		}
+	}
+	for _, d := range dones {
+		d()
+	}
+	l.reschedule()
+}

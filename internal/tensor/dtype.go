@@ -1,0 +1,89 @@
+// Package tensor implements the dense n-dimensional array type that flows
+// along the edges of a dataflow graph, together with the numeric kernels
+// (element-wise math, contractions, convolutions, gather/scatter) that the
+// op library in internal/ops is built from.
+//
+// All tensors are dense, per the paper (§3.1): sparse data is represented at
+// a higher level as tuples of dense tensors (indices + values), which keeps
+// allocation and serialization at this layer trivial.
+package tensor
+
+import "fmt"
+
+// DType identifies the element type of a Tensor.
+type DType uint8
+
+// Element types supported by the runtime. The paper names int32, float32 and
+// string as representative primitive types (§3.1); we add the types required
+// by the op set (bool for predicates, int64 for indices, float64 for tests
+// that compare against high-precision references).
+const (
+	Invalid DType = iota
+	Bool
+	Int32
+	Int64
+	Float32
+	Float64
+	String
+)
+
+var dtypeNames = [...]string{
+	Invalid: "invalid",
+	Bool:    "bool",
+	Int32:   "int32",
+	Int64:   "int64",
+	Float32: "float32",
+	Float64: "float64",
+	String:  "string",
+}
+
+func (d DType) String() string {
+	if int(d) < len(dtypeNames) {
+		return dtypeNames[d]
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Size returns the in-memory size of one element in bytes. String elements
+// are variable-length; Size reports the size of the string header proxy (16)
+// so that cost models have a usable per-element estimate.
+func (d DType) Size() int {
+	switch d {
+	case Bool:
+		return 1
+	case Int32, Float32:
+		return 4
+	case Int64, Float64:
+		return 8
+	case String:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// IsNumeric reports whether arithmetic is defined for the type.
+func (d DType) IsNumeric() bool {
+	switch d {
+	case Int32, Int64, Float32, Float64:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the type is a floating-point type.
+func (d DType) IsFloat() bool { return d == Float32 || d == Float64 }
+
+// IsInteger reports whether the type is an integer type.
+func (d DType) IsInteger() bool { return d == Int32 || d == Int64 }
+
+// ParseDType maps a type name to its DType. It is the inverse of String for
+// all valid types.
+func ParseDType(s string) (DType, error) {
+	for d, name := range dtypeNames {
+		if name == s && DType(d) != Invalid {
+			return DType(d), nil
+		}
+	}
+	return Invalid, fmt.Errorf("tensor: unknown dtype %q", s)
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes the matrix product of two rank-2 tensors, optionally
+// transposing either operand first. Shapes follow the usual contract:
+// op(a) is [m,k], op(b) is [k,n], and the result is [m,n].
+//
+// The float32 path blocks over rows and fans work out to GOMAXPROCS
+// goroutines when the output is large enough to amortize the dispatch; the
+// executor relies on this for the dense layers in the example models.
+func MatMul(a, b *Tensor, transposeA, transposeB bool) (*Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: MatMul needs rank-2 inputs, got %v and %v", a.shape, b.shape)
+	}
+	if a.dtype != b.dtype || !a.dtype.IsFloat() {
+		return nil, fmt.Errorf("tensor: MatMul needs matching float dtypes, got %v and %v", a.dtype, b.dtype)
+	}
+	m, ka := a.shape[0], a.shape[1]
+	if transposeA {
+		m, ka = ka, m
+	}
+	kb, n := b.shape[0], b.shape[1]
+	if transposeB {
+		kb, n = n, kb
+	}
+	if ka != kb {
+		return nil, fmt.Errorf("tensor: MatMul inner dimensions differ: %v (transpose=%t) x %v (transpose=%t)",
+			a.shape, transposeA, b.shape, transposeB)
+	}
+	out := New(a.dtype, Shape{m, n})
+	if a.dtype == Float32 {
+		matmulF32(out.Float32s(), a.Float32s(), b.Float32s(), m, ka, n,
+			a.shape[1], b.shape[1], transposeA, transposeB)
+		return out, nil
+	}
+	matmulF64(out.Float64s(), a.Float64s(), b.Float64s(), m, ka, n,
+		a.shape[1], b.shape[1], transposeA, transposeB)
+	return out, nil
+}
+
+// matmulParallelThreshold is the output-element count above which the
+// float32 kernel shards rows across goroutines.
+const matmulParallelThreshold = 64 * 64
+
+func matmulF32(dst, a, b []float32, m, k, n, lda, ldb int, ta, tb bool) {
+	loadA := func(i, p int) float32 {
+		if ta {
+			return a[p*lda+i]
+		}
+		return a[i*lda+p]
+	}
+	loadB := func(p, j int) float32 {
+		if tb {
+			return b[j*ldb+p]
+		}
+		return b[p*ldb+j]
+	}
+
+	rowRange := func(i0, i1 int) {
+		switch {
+		case !ta && !tb:
+			// Hot path: iterate k in the outer position so that the
+			// inner loop streams both B and the output row.
+			for i := i0; i < i1; i++ {
+				arow := a[i*lda : i*lda+k]
+				drow := dst[i*n : i*n+n]
+				for p := 0; p < k; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j := 0; j < n; j++ {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		case !ta && tb:
+			for i := i0; i < i1; i++ {
+				arow := a[i*lda : i*lda+k]
+				drow := dst[i*n : i*n+n]
+				for j := 0; j < n; j++ {
+					brow := b[j*ldb : j*ldb+k]
+					var acc float32
+					for p := 0; p < k; p++ {
+						acc += arow[p] * brow[p]
+					}
+					drow[j] = acc
+				}
+			}
+		default:
+			for i := i0; i < i1; i++ {
+				drow := dst[i*n : i*n+n]
+				for p := 0; p < k; p++ {
+					av := loadA(i, p)
+					if av == 0 {
+						continue
+					}
+					for j := 0; j < n; j++ {
+						drow[j] += av * loadB(p, j)
+					}
+				}
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if m*n < matmulParallelThreshold || workers == 1 || m == 1 {
+		rowRange(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			rowRange(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+func matmulF64(dst, a, b []float64, m, k, n, lda, ldb int, ta, tb bool) {
+	loadA := func(i, p int) float64 {
+		if ta {
+			return a[p*lda+i]
+		}
+		return a[i*lda+p]
+	}
+	loadB := func(p, j int) float64 {
+		if tb {
+			return b[j*ldb+p]
+		}
+		return b[p*ldb+j]
+	}
+	for i := 0; i < m; i++ {
+		drow := dst[i*n : i*n+n]
+		for p := 0; p < k; p++ {
+			av := loadA(i, p)
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				drow[j] += av * loadB(p, j)
+			}
+		}
+	}
+}
+
+// BatchMatMul multiplies two rank-3 tensors batch-wise: [b,m,k] x [b,k,n] →
+// [b,m,n].
+func BatchMatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 3 || b.Rank() != 3 {
+		return nil, fmt.Errorf("tensor: BatchMatMul needs rank-3 inputs, got %v and %v", a.shape, b.shape)
+	}
+	if a.shape[0] != b.shape[0] || a.shape[2] != b.shape[1] {
+		return nil, fmt.Errorf("tensor: BatchMatMul shape mismatch %v x %v", a.shape, b.shape)
+	}
+	if a.dtype != b.dtype || !a.dtype.IsFloat() {
+		return nil, fmt.Errorf("tensor: BatchMatMul needs matching float dtypes")
+	}
+	batch, m, k, n := a.shape[0], a.shape[1], a.shape[2], b.shape[2]
+	out := New(a.dtype, Shape{batch, m, n})
+	for i := 0; i < batch; i++ {
+		if a.dtype == Float32 {
+			matmulF32(out.Float32s()[i*m*n:(i+1)*m*n],
+				a.Float32s()[i*m*k:(i+1)*m*k],
+				b.Float32s()[i*k*n:(i+1)*k*n],
+				m, k, n, k, n, false, false)
+		} else {
+			matmulF64(out.Float64s()[i*m*n:(i+1)*m*n],
+				a.Float64s()[i*m*k:(i+1)*m*k],
+				b.Float64s()[i*k*n:(i+1)*k*n],
+				m, k, n, k, n, false, false)
+		}
+	}
+	return out, nil
+}

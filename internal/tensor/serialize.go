@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization format (little-endian):
+//
+//	u8   dtype
+//	u32  rank
+//	u32 × rank  dims
+//	payload: raw element bytes (numeric/bool) or length-prefixed strings
+//
+// The same encoding is used by the checkpoint files (internal/checkpoint)
+// and the inter-task transport (internal/distributed), so a tensor that
+// round-trips through either path is bit-identical.
+
+// WriteTo encodes the tensor to w and returns the number of bytes written.
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	hdr := make([]byte, 1+4+4*len(t.shape))
+	hdr[0] = byte(t.dtype)
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(t.shape)))
+	for i, d := range t.shape {
+		binary.LittleEndian.PutUint32(hdr[5+4*i:], uint32(d))
+	}
+	n, err := w.Write(hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	cnt := t.NumElements()
+	switch t.dtype {
+	case Bool:
+		buf := make([]byte, cnt)
+		for i, v := range t.Bools() {
+			if v {
+				buf[i] = 1
+			}
+		}
+		n, err = w.Write(buf)
+	case Int32:
+		buf := make([]byte, 4*cnt)
+		for i, v := range t.Int32s() {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
+		}
+		n, err = w.Write(buf)
+	case Int64:
+		buf := make([]byte, 8*cnt)
+		for i, v := range t.Int64s() {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+		}
+		n, err = w.Write(buf)
+	case Float32:
+		buf := make([]byte, 4*cnt)
+		for i, v := range t.Float32s() {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		n, err = w.Write(buf)
+	case Float64:
+		buf := make([]byte, 8*cnt)
+		for i, v := range t.Float64s() {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		n, err = w.Write(buf)
+	case String:
+		var m int
+		for _, s := range t.Strings() {
+			var lenBuf [4]byte
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(s)))
+			m, err = w.Write(lenBuf[:])
+			total += int64(m)
+			if err != nil {
+				return total, err
+			}
+			m, err = w.Write([]byte(s))
+			total += int64(m)
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	default:
+		return total, fmt.Errorf("tensor: cannot serialize dtype %v", t.dtype)
+	}
+	total += int64(n)
+	return total, err
+}
+
+// ReadFrom decodes a tensor previously written by WriteTo.
+func ReadFrom(r io.Reader) (*Tensor, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	dt := DType(hdr[0])
+	switch dt {
+	case Bool, Int32, Int64, Float32, Float64, String:
+	default:
+		return nil, fmt.Errorf("tensor: cannot deserialize dtype %d", hdr[0])
+	}
+	rank := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if rank > 32 {
+		return nil, fmt.Errorf("tensor: implausible rank %d in stream", rank)
+	}
+	shape := make(Shape, rank)
+	if rank > 0 {
+		dims := make([]byte, 4*rank)
+		if _, err := io.ReadFull(r, dims); err != nil {
+			return nil, err
+		}
+		for i := range shape {
+			shape[i] = int(binary.LittleEndian.Uint32(dims[4*i:]))
+		}
+	}
+	t := New(dt, shape)
+	cnt := t.NumElements()
+	switch dt {
+	case Bool:
+		buf := make([]byte, cnt)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i, b := range buf {
+			t.Bools()[i] = b != 0
+		}
+	case Int32:
+		buf := make([]byte, 4*cnt)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range t.Int32s() {
+			t.Int32s()[i] = int32(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case Int64:
+		buf := make([]byte, 8*cnt)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range t.Int64s() {
+			t.Int64s()[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	case Float32:
+		buf := make([]byte, 4*cnt)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range t.Float32s() {
+			t.Float32s()[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case Float64:
+		buf := make([]byte, 8*cnt)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		for i := range t.Float64s() {
+			t.Float64s()[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+	case String:
+		for i := 0; i < cnt; i++ {
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+				return nil, err
+			}
+			sb := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+			if _, err := io.ReadFull(r, sb); err != nil {
+				return nil, err
+			}
+			t.Strings()[i] = string(sb)
+		}
+	default:
+		return nil, fmt.Errorf("tensor: cannot deserialize dtype %d", hdr[0])
+	}
+	return t, nil
+}

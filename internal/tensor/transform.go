@@ -1,0 +1,302 @@
+package tensor
+
+import "fmt"
+
+// Transpose permutes the dimensions of t according to perm, which must be a
+// permutation of [0, rank). A nil perm reverses the dimensions.
+func Transpose(t *Tensor, perm []int) (*Tensor, error) {
+	rank := t.Rank()
+	if perm == nil {
+		perm = make([]int, rank)
+		for i := range perm {
+			perm[i] = rank - 1 - i
+		}
+	}
+	if len(perm) != rank {
+		return nil, fmt.Errorf("tensor: Transpose perm %v does not match rank %d", perm, rank)
+	}
+	seen := make([]bool, rank)
+	outShape := make(Shape, rank)
+	for i, p := range perm {
+		if p < 0 || p >= rank || seen[p] {
+			return nil, fmt.Errorf("tensor: Transpose perm %v is not a permutation", perm)
+		}
+		seen[p] = true
+		outShape[i] = t.shape[p]
+	}
+	out := New(t.dtype, outShape)
+	if rank <= 1 {
+		copyInto(out, t, 0, 0, t.NumElements())
+		return out, nil
+	}
+	// Fast path for the common 2-D transpose.
+	if rank == 2 && perm[0] == 1 && perm[1] == 0 && t.dtype == Float32 {
+		src, dst := t.Float32s(), out.Float32s()
+		r, c := t.shape[0], t.shape[1]
+		for i := 0; i < r; i++ {
+			row := src[i*c : (i+1)*c]
+			for j, v := range row {
+				dst[j*r+i] = v
+			}
+		}
+		return out, nil
+	}
+	inStrides := t.shape.Strides()
+	outStrides := outShape.Strides()
+	n := t.NumElements()
+	for i := 0; i < n; i++ {
+		rem := i
+		src := 0
+		for d := 0; d < rank; d++ {
+			idx := rem / outStrides[d]
+			rem %= outStrides[d]
+			src += idx * inStrides[perm[d]]
+		}
+		copyInto(out, t, i, src, 1)
+	}
+	return out, nil
+}
+
+// copyInto copies n elements from src[srcOff:] into dst[dstOff:]; dtypes
+// must match (internal helper).
+func copyInto(dst, src *Tensor, dstOff, srcOff, n int) {
+	switch dst.dtype {
+	case Bool:
+		copy(dst.Bools()[dstOff:dstOff+n], src.Bools()[srcOff:srcOff+n])
+	case Int32:
+		copy(dst.Int32s()[dstOff:dstOff+n], src.Int32s()[srcOff:srcOff+n])
+	case Int64:
+		copy(dst.Int64s()[dstOff:dstOff+n], src.Int64s()[srcOff:srcOff+n])
+	case Float32:
+		copy(dst.Float32s()[dstOff:dstOff+n], src.Float32s()[srcOff:srcOff+n])
+	case Float64:
+		copy(dst.Float64s()[dstOff:dstOff+n], src.Float64s()[srcOff:srcOff+n])
+	case String:
+		copy(dst.Strings()[dstOff:dstOff+n], src.Strings()[srcOff:srcOff+n])
+	}
+}
+
+// Concat joins tensors along the given axis. All inputs must share dtype and
+// agree on every other dimension.
+func Concat(ts []*Tensor, axis int) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("tensor: Concat of zero tensors")
+	}
+	first := ts[0]
+	rank := first.Rank()
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		return nil, fmt.Errorf("tensor: Concat axis %d out of range for rank %d", axis, rank)
+	}
+	outShape := first.shape.Clone()
+	for _, t := range ts[1:] {
+		if t.dtype != first.dtype || t.Rank() != rank {
+			return nil, fmt.Errorf("tensor: Concat inputs disagree: %v%v vs %v%v", first.dtype, first.shape, t.dtype, t.shape)
+		}
+		for d := 0; d < rank; d++ {
+			if d == axis {
+				continue
+			}
+			if t.shape[d] != first.shape[d] {
+				return nil, fmt.Errorf("tensor: Concat inputs disagree on dim %d: %v vs %v", d, first.shape, t.shape)
+			}
+		}
+		outShape[axis] += t.shape[axis]
+	}
+	out := New(first.dtype, outShape)
+
+	inner := 1
+	for d := axis + 1; d < rank; d++ {
+		inner *= outShape[d]
+	}
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	outRow := outShape[axis] * inner
+	off := 0
+	for _, t := range ts {
+		tRow := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			copyInto(out, t, o*outRow+off, o*tRow, tRow)
+		}
+		off += tRow
+	}
+	return out, nil
+}
+
+// Split divides t into pieces along axis with the given sizes, which must
+// sum to the axis length.
+func Split(t *Tensor, axis int, sizes []int) ([]*Tensor, error) {
+	rank := t.Rank()
+	if axis < 0 {
+		axis += rank
+	}
+	if axis < 0 || axis >= rank {
+		return nil, fmt.Errorf("tensor: Split axis %d out of range for rank %d", axis, rank)
+	}
+	total := 0
+	for _, s := range sizes {
+		if s < 0 {
+			return nil, fmt.Errorf("tensor: Split size %d is negative", s)
+		}
+		total += s
+	}
+	if total != t.shape[axis] {
+		return nil, fmt.Errorf("tensor: Split sizes %v do not sum to dim %d", sizes, t.shape[axis])
+	}
+	inner := 1
+	for d := axis + 1; d < rank; d++ {
+		inner *= t.shape[d]
+	}
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= t.shape[d]
+	}
+	inRow := t.shape[axis] * inner
+	out := make([]*Tensor, len(sizes))
+	off := 0
+	for i, s := range sizes {
+		shape := t.shape.Clone()
+		shape[axis] = s
+		piece := New(t.dtype, shape)
+		row := s * inner
+		for o := 0; o < outer; o++ {
+			copyInto(piece, t, o*row, o*inRow+off, row)
+		}
+		out[i] = piece
+		off += s * inner
+	}
+	return out, nil
+}
+
+// SliceT extracts a contiguous region: begin and size give per-dimension
+// offsets and extents. A size of -1 extends to the end of the dimension.
+func SliceT(t *Tensor, begin, size []int) (*Tensor, error) {
+	rank := t.Rank()
+	if len(begin) != rank || len(size) != rank {
+		return nil, fmt.Errorf("tensor: Slice begin/size rank mismatch for shape %v", t.shape)
+	}
+	outShape := make(Shape, rank)
+	for d := 0; d < rank; d++ {
+		sz := size[d]
+		if sz < 0 {
+			sz = t.shape[d] - begin[d]
+		}
+		if begin[d] < 0 || begin[d]+sz > t.shape[d] {
+			return nil, fmt.Errorf("tensor: Slice [%d:%d) out of bounds for dim %d of %v", begin[d], begin[d]+sz, d, t.shape)
+		}
+		outShape[d] = sz
+	}
+	out := New(t.dtype, outShape)
+	if out.NumElements() == 0 {
+		return out, nil
+	}
+	inStrides := t.shape.Strides()
+	// Copy rows of the innermost dimension.
+	inner := outShape[rank-1]
+	outerN := out.NumElements() / inner
+	outStrides := outShape.Strides()
+	for o := 0; o < outerN; o++ {
+		rem := o * inner
+		src := begin[rank-1]
+		for d := 0; d < rank-1; d++ {
+			idx := rem / outStrides[d]
+			rem %= outStrides[d]
+			src += (idx + begin[d]) * inStrides[d]
+		}
+		copyInto(out, t, o*inner, src, inner)
+	}
+	return out, nil
+}
+
+// Pad adds zero padding: paddings[d] = {before, after} for each dimension.
+func Pad(t *Tensor, paddings [][2]int) (*Tensor, error) {
+	rank := t.Rank()
+	if len(paddings) != rank {
+		return nil, fmt.Errorf("tensor: Pad needs %d padding pairs, got %d", rank, len(paddings))
+	}
+	outShape := make(Shape, rank)
+	for d := 0; d < rank; d++ {
+		if paddings[d][0] < 0 || paddings[d][1] < 0 {
+			return nil, fmt.Errorf("tensor: Pad amounts must be non-negative, got %v", paddings[d])
+		}
+		outShape[d] = t.shape[d] + paddings[d][0] + paddings[d][1]
+	}
+	out := New(t.dtype, outShape)
+	if t.NumElements() == 0 {
+		return out, nil
+	}
+	inStrides := t.shape.Strides()
+	outStrides := outShape.Strides()
+	inner := t.shape[rank-1]
+	outerN := t.NumElements() / max(inner, 1)
+	for o := 0; o < outerN; o++ {
+		rem := o * max(inner, 1)
+		dst := paddings[rank-1][0]
+		for d := 0; d < rank-1; d++ {
+			idx := rem / inStrides[d]
+			rem %= inStrides[d]
+			dst += (idx + paddings[d][0]) * outStrides[d]
+		}
+		copyInto(out, t, dst, o*inner, inner)
+	}
+	return out, nil
+}
+
+// Tile repeats t the given number of times in each dimension.
+func Tile(t *Tensor, multiples []int) (*Tensor, error) {
+	rank := t.Rank()
+	if len(multiples) != rank {
+		return nil, fmt.Errorf("tensor: Tile needs %d multiples, got %d", rank, len(multiples))
+	}
+	outShape := make(Shape, rank)
+	for d := 0; d < rank; d++ {
+		if multiples[d] < 1 {
+			return nil, fmt.Errorf("tensor: Tile multiple %d invalid", multiples[d])
+		}
+		outShape[d] = t.shape[d] * multiples[d]
+	}
+	out := New(t.dtype, outShape)
+	n := out.NumElements()
+	if n == 0 {
+		return out, nil
+	}
+	inStrides := t.shape.Strides()
+	outStrides := outShape.Strides()
+	for i := 0; i < n; i++ {
+		rem := i
+		src := 0
+		for d := 0; d < rank; d++ {
+			idx := rem / outStrides[d]
+			rem %= outStrides[d]
+			src += (idx % t.shape[d]) * inStrides[d]
+		}
+		copyInto(out, t, i, src, 1)
+	}
+	return out, nil
+}
+
+// OneHot expands integer indices into one-hot float vectors of the given
+// depth appended as a new trailing dimension. Out-of-range indices produce
+// all-zero rows, matching the reference semantics.
+func OneHot(indices *Tensor, depth int, dt DType) (*Tensor, error) {
+	if !indices.dtype.IsInteger() {
+		return nil, fmt.Errorf("tensor: OneHot needs integer indices, got %v", indices.dtype)
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("tensor: OneHot depth %d invalid", depth)
+	}
+	outShape := append(indices.shape.Clone(), depth)
+	out := New(dt, outShape)
+	n := indices.NumElements()
+	for i := 0; i < n; i++ {
+		idx := indices.IntAt(i)
+		if idx >= 0 && idx < depth {
+			out.SetFloat(i*depth+idx, 1)
+		}
+	}
+	return out, nil
+}

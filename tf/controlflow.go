@@ -1,0 +1,240 @@
+package tf
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Cond builds a non-strict conditional (§3.4, Figure 2): each input is
+// routed through a Switch so that only the taken branch's operations
+// execute; the untaken branch receives dead values that propagate until the
+// final Merge. Both branch functions receive the switched inputs and must
+// derive their results from them (operations not depending on a switched
+// input execute unconditionally, as in the reference system). The branches
+// must return the same number of outputs with matching types.
+func (gr *Graph) Cond(pred Output, inputs []Output, thenFn, elseFn func(ins []Output) []Output) []Output {
+	if len(inputs) == 0 {
+		gr.b.Fail(fmt.Errorf("tf: Cond needs at least one input to gate the branches"))
+		return nil
+	}
+	thenIns := make([]Output, len(inputs))
+	elseIns := make([]Output, len(inputs))
+	for i, in := range inputs {
+		sw := gr.b.Node("Switch", []graph.Endpoint{in.ep, pred.ep}, "cond/switch", nil)
+		if sw == nil {
+			return nil
+		}
+		elseIns[i] = gr.wrap(sw.Out(0)) // false side
+		thenIns[i] = gr.wrap(sw.Out(1)) // true side
+	}
+	thenOuts := thenFn(thenIns)
+	elseOuts := elseFn(elseIns)
+	if len(thenOuts) != len(elseOuts) {
+		gr.b.Fail(fmt.Errorf("tf: Cond branches returned %d and %d outputs", len(thenOuts), len(elseOuts)))
+		return nil
+	}
+	merged := make([]Output, len(thenOuts))
+	for i := range thenOuts {
+		m := gr.b.Node("Merge", []graph.Endpoint{elseOuts[i].ep, thenOuts[i].ep}, "cond/merge", nil)
+		if m == nil {
+			return nil
+		}
+		merged[i] = gr.wrap(m.Out(0))
+	}
+	return merged
+}
+
+var whileCounter int
+
+// loopCtx is the while-loop construction context: while it is installed on
+// the builder, any input whose producer does not execute inside the frame is
+// automatically routed through a constant Enter, exactly like the reference
+// system's control-flow contexts (§3.4). "Executes inside the frame" means
+// the node has at least one in-frame input: source nodes (Const, Variable)
+// always execute in the caller's frame, so even constants created textually
+// inside the body closure are captured through an Enter.
+type loopCtx struct {
+	gr           *Graph
+	frame        string
+	resident     map[*graph.Node]bool
+	enterCache   map[graph.Endpoint]graph.Endpoint
+	parentMapper func(graph.Endpoint) graph.Endpoint
+}
+
+func (lc *loopCtx) mapInput(ep graph.Endpoint) graph.Endpoint {
+	if lc.resident[ep.Node] {
+		return ep
+	}
+	if cached, ok := lc.enterCache[ep]; ok {
+		return cached
+	}
+	src := ep
+	if lc.parentMapper != nil {
+		// The value may live several frames up: let the enclosing loop
+		// capture it first so our Enter's input is in our parent frame.
+		src = lc.parentMapper(src)
+		if src.Node == nil {
+			return graph.Endpoint{}
+		}
+	}
+	// Build the capture Enter with hooks suspended: its input must stay
+	// in the parent frame.
+	oldMap := lc.gr.b.SetInputMapper(nil)
+	oldAdd := lc.gr.b.SetOnAdd(nil)
+	enter := lc.gr.b.Node("Enter", []graph.Endpoint{src}, lc.frame+"/capture",
+		map[string]any{"frame_name": lc.frame, "is_constant": true})
+	lc.gr.b.SetInputMapper(oldMap)
+	lc.gr.b.SetOnAdd(oldAdd)
+	if enter == nil {
+		return graph.Endpoint{}
+	}
+	lc.resident[enter] = true
+	lc.enterCache[ep] = enter.Out(0)
+	return enter.Out(0)
+}
+
+func (lc *loopCtx) onAdd(n *graph.Node) {
+	// After input mapping, every input of a node built under this context
+	// is in-frame, so any node with inputs executes in-frame. Zero-input
+	// nodes (constants) stay outside and are captured on use.
+	if n.NumInputs() > 0 {
+		lc.resident[n] = true
+	}
+}
+
+// While builds an iteration (§3.4) with the timely-dataflow-inspired frame
+// structure: Enter pushes loop variables into a new frame, Merge joins the
+// initial value with the NextIteration back edge, LoopCond gates a Switch
+// per variable, Exit delivers the final values, and NextIteration feeds the
+// body results back. Values captured from outside the loop (including
+// constants created inside the closures) are routed through constant Enter
+// nodes automatically.
+//
+// invariants optionally pre-captures loop-invariant values, passed to the
+// closures as invs; automatic capture makes this a convenience rather than
+// a requirement.
+func (gr *Graph) While(loopVars []Output, invariants []Output,
+	cond func(vars, invs []Output) Output,
+	body func(vars, invs []Output) []Output) []Output {
+
+	if len(loopVars) == 0 {
+		gr.b.Fail(fmt.Errorf("tf: While needs at least one loop variable"))
+		return nil
+	}
+	whileCounter++
+	frame := fmt.Sprintf("while_%d", whileCounter)
+	lc := &loopCtx{
+		gr:         gr,
+		frame:      frame,
+		resident:   map[*graph.Node]bool{},
+		enterCache: map[graph.Endpoint]graph.Endpoint{},
+	}
+
+	merges := make([]*graph.Node, len(loopVars))
+	mergeOuts := make([]Output, len(loopVars))
+	for i, v := range loopVars {
+		enter := gr.b.Node("Enter", []graph.Endpoint{v.ep}, frame+"/enter",
+			map[string]any{"frame_name": frame})
+		if enter == nil {
+			return nil
+		}
+		lc.resident[enter] = true
+		m := gr.b.Node("Merge", []graph.Endpoint{enter.Out(0)}, frame+"/merge", nil)
+		if m == nil {
+			return nil
+		}
+		lc.resident[m] = true
+		merges[i] = m
+		mergeOuts[i] = gr.wrap(m.Out(0))
+	}
+	invs := make([]Output, len(invariants))
+	for i, v := range invariants {
+		enter := gr.b.Node("Enter", []graph.Endpoint{v.ep}, frame+"/enter_const",
+			map[string]any{"frame_name": frame, "is_constant": true})
+		if enter == nil {
+			return nil
+		}
+		lc.resident[enter] = true
+		invs[i] = gr.wrap(enter.Out(0))
+	}
+
+	// Install the loop context for the cond/body closures.
+	lc.parentMapper = gr.b.SetInputMapper(lc.mapInput)
+	prevAdd := gr.b.SetOnAdd(lc.onAdd)
+	gr.loopStack = append(gr.loopStack, lc)
+	popped := false
+	restore := func() {
+		gr.b.SetInputMapper(lc.parentMapper)
+		gr.b.SetOnAdd(prevAdd)
+		if !popped {
+			popped = true
+			gr.loopStack = gr.loopStack[:len(gr.loopStack)-1]
+		}
+	}
+
+	pred := cond(mergeOuts, invs)
+	if !pred.Valid() {
+		restore()
+		gr.b.Fail(fmt.Errorf("tf: While cond returned an invalid output"))
+		return nil
+	}
+	loopCond := gr.b.Node("LoopCond", []graph.Endpoint{pred.ep}, frame+"/loopcond", nil)
+	if loopCond == nil {
+		restore()
+		return nil
+	}
+
+	bodyIns := make([]Output, len(loopVars))
+	exits := make([]Output, len(loopVars))
+	exitNodes := make([]*graph.Node, len(loopVars))
+	for i := range loopVars {
+		sw := gr.b.Node("Switch", []graph.Endpoint{merges[i].Out(0), loopCond.Out(0)}, frame+"/switch", nil)
+		if sw == nil {
+			restore()
+			return nil
+		}
+		exit := gr.b.Node("Exit", []graph.Endpoint{sw.Out(0)}, frame+"/exit", nil)
+		if exit == nil {
+			restore()
+			return nil
+		}
+		exitNodes[i] = exit
+		exits[i] = gr.wrap(exit.Out(0))
+		bodyIns[i] = gr.wrap(sw.Out(1))
+	}
+
+	bodyOuts := body(bodyIns, invs)
+	if len(bodyOuts) != len(loopVars) {
+		restore()
+		gr.b.Fail(fmt.Errorf("tf: While body returned %d outputs for %d loop variables", len(bodyOuts), len(loopVars)))
+		return nil
+	}
+	for i, out := range bodyOuts {
+		if !out.Valid() {
+			restore()
+			gr.b.Fail(fmt.Errorf("tf: While body output %d is invalid", i))
+			return nil
+		}
+		next := gr.b.Node("NextIteration", []graph.Endpoint{out.ep}, frame+"/next", nil)
+		if next == nil {
+			restore()
+			return nil
+		}
+		if err := gr.g.AddBackEdge(merges[i], next.Out(0)); err != nil {
+			restore()
+			gr.b.Fail(err)
+			return nil
+		}
+	}
+	restore()
+	// Exit values are delivered into the enclosing frame, so an enclosing
+	// loop context must treat them as resident.
+	if len(gr.loopStack) > 0 {
+		outer := gr.loopStack[len(gr.loopStack)-1]
+		for _, e := range exitNodes {
+			outer.resident[e] = true
+		}
+	}
+	return exits
+}

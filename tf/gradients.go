@@ -1,0 +1,95 @@
+package tf
+
+import (
+	"repro/internal/autodiff"
+	"repro/internal/graph"
+)
+
+// IndexedSlices is a sparse gradient: the dense equivalent has NumRows rows
+// and is zero outside Indices. Gradients of Gather stay in this form so
+// optimizers can apply sparse Scatter* updates that touch only the rows a
+// step actually read (§4.2).
+type IndexedSlices struct {
+	Indices Output
+	Values  Output
+	NumRows int
+}
+
+// Gradient is one ∂y/∂x result: dense, sparse, or zero (when y does not
+// depend on x).
+type Gradient struct {
+	Dense  Output
+	Sparse *IndexedSlices
+}
+
+// IsZero reports whether the gradient carries no contribution.
+func (g Gradient) IsZero() bool { return !g.Dense.Valid() && g.Sparse == nil }
+
+// Gradients builds the backward graph for ∂sum(ys)/∂xs as user-level
+// operations (§4.1) and returns one Gradient per x.
+func (gr *Graph) Gradients(ys []Output, xs []Output) ([]Gradient, error) {
+	if err := gr.Err(); err != nil {
+		return nil, err
+	}
+	yEps := make([]graph.Endpoint, len(ys))
+	for i, y := range ys {
+		yEps[i] = y.ep
+	}
+	xEps := make([]graph.Endpoint, len(xs))
+	for i, x := range xs {
+		xEps[i] = x.ep
+	}
+	grads, err := autodiff.Gradients(gr.g, yEps, xEps, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Gradient, len(grads))
+	for i, g := range grads {
+		switch {
+		case g.IsZero():
+		case g.IsSparse():
+			out[i] = Gradient{Sparse: &IndexedSlices{
+				Indices: gr.wrap(g.Indices),
+				Values:  gr.wrap(g.Values),
+				NumRows: g.NumRows,
+			}}
+		default:
+			out[i] = Gradient{Dense: gr.wrap(g.Dense)}
+		}
+	}
+	return out, nil
+}
+
+// DenseGradients is Gradients with every sparse result densified — the
+// convenient form for models without embeddings.
+func (gr *Graph) DenseGradients(ys []Output, xs []Output) ([]Output, error) {
+	grads, err := gr.Gradients(ys, xs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Output, len(grads))
+	for i, g := range grads {
+		d, err := gr.DensifyGradient(g)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// DensifyGradient converts a sparse gradient to its dense equivalent.
+func (gr *Graph) DensifyGradient(g Gradient) (Output, error) {
+	if g.Sparse == nil {
+		return g.Dense, nil
+	}
+	ep, err := autodiff.Densify(gr.b, autodiff.Grad{
+		Indices: g.Sparse.Indices.ep,
+		Values:  g.Sparse.Values.ep,
+		NumRows: g.Sparse.NumRows,
+	})
+	if err != nil {
+		return Output{}, err
+	}
+	return gr.wrap(ep), nil
+}

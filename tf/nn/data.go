@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math"
+
+	"repro/tf"
+)
+
+// Synthetic data generators replace the corpora the paper trains on
+// (ImageNet and the One Billion Word Benchmark): the evaluation section
+// measures system throughput, not model accuracy, so matched shapes and
+// realistic sparsity patterns are what matter (see DESIGN.md).
+
+// SyntheticImages draws a batch of NHWC images plus integer labels that are
+// a deterministic (learnable) function of the image contents: the label is
+// the argmax over `classes` fixed random projections of the image mean
+// pattern, so models can drive training loss down.
+func SyntheticImages(rng *tf.Tensor, seed int64, batch, h, w, c, classes int) (*tf.Tensor, *tf.Tensor) {
+	r := tf.NewRNG(seed)
+	images := r.Normal(tf.Float32, tf.Shape{batch, h, w, c}, 0, 1)
+	proj := tf.NewRNG(seed^0x5deece66d).Normal(tf.Float64, tf.Shape{classes, h * w * c}, 0, 1)
+	labels := tf.NewTensor(tf.Int32, tf.Shape{batch})
+	hw := h * w * c
+	for b := 0; b < batch; b++ {
+		best, bestV := 0, math.Inf(-1)
+		for cls := 0; cls < classes; cls++ {
+			var dot float64
+			for i := 0; i < hw; i++ {
+				dot += float64(images.Float32s()[b*hw+i]) * proj.Float64s()[cls*hw+i]
+			}
+			if dot > bestV {
+				bestV, best = dot, cls
+			}
+		}
+		labels.Int32s()[b] = int32(best)
+	}
+	return images, labels
+}
+
+// ZipfCorpus generates a token stream with the Zipfian unigram statistics
+// of natural language, the regime the log-uniform candidate sampler is
+// built for (§6.4).
+func ZipfCorpus(seed int64, vocab, length int) []int32 {
+	r := tf.NewRNG(seed)
+	out := make([]int32, length)
+	for i := range out {
+		out[i] = int32(r.LogUniformInt(vocab))
+	}
+	return out
+}
+
+// LMBatch cuts (input, target) id tensors of shape [batch, steps] from a
+// corpus at the given offset, wrapping around.
+func LMBatch(corpus []int32, offset, batch, steps int) (*tf.Tensor, *tf.Tensor) {
+	in := tf.NewTensor(tf.Int32, tf.Shape{batch, steps})
+	tgt := tf.NewTensor(tf.Int32, tf.Shape{batch, steps})
+	n := len(corpus)
+	for b := 0; b < batch; b++ {
+		base := (offset + b*steps) % n
+		for s := 0; s < steps; s++ {
+			in.Int32s()[b*steps+s] = corpus[(base+s)%n]
+			tgt.Int32s()[b*steps+s] = corpus[(base+s+1)%n]
+		}
+	}
+	return in, tgt
+}
+
+// LinearData synthesizes (x, y) pairs for y = x·W* + b* + noise — the
+// quickstart regression workload.
+func LinearData(seed int64, n, features int, wTrue []float32, bTrue, noise float64) (*tf.Tensor, *tf.Tensor) {
+	r := tf.NewRNG(seed)
+	x := r.Uniform(tf.Float32, tf.Shape{n, features}, -1, 1)
+	y := tf.NewTensor(tf.Float32, tf.Shape{n, 1})
+	for i := 0; i < n; i++ {
+		var v float64
+		for j := 0; j < features; j++ {
+			v += float64(x.Float32s()[i*features+j]) * float64(wTrue[j])
+		}
+		v += bTrue
+		if noise > 0 {
+			v += r.Normal(tf.Float64, tf.Shape{1}, 0, noise).Float64s()[0]
+		}
+		y.Float32s()[i] = float32(v)
+	}
+	return x, y
+}

@@ -1,0 +1,188 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/tf"
+)
+
+// ShardedEmbedding is the sparse embedding layer of §4.2 (Figure 3): an
+// n×d embedding matrix split row-wise across several parameter-server
+// tasks, read with Gather and reassembled with DynamicPartition /
+// DynamicStitch, so a lookup touches only the rows a batch references and
+// each shard's traffic goes to the task that owns it.
+type ShardedEmbedding struct {
+	Vocab  int
+	Dim    int
+	Shards []*tf.Variable
+}
+
+// NewShardedEmbedding creates numShards row-sharded embedding variables.
+// Shard s owns the rows whose id ≡ s (mod numShards), matching the "Mod"
+// routing of Figure 3. deviceFor, when non-nil, names the device for each
+// shard (e.g. a different "/job:ps/task:i" per shard).
+func NewShardedEmbedding(g *tf.Graph, name string, vocab, dim, numShards int,
+	deviceFor func(shard int) string) (*ShardedEmbedding, error) {
+	if numShards < 1 || vocab < numShards {
+		return nil, fmt.Errorf("nn: embedding needs 1 <= shards (%d) <= vocab (%d)", numShards, vocab)
+	}
+	e := &ShardedEmbedding{Vocab: vocab, Dim: dim}
+	std := 1.0 / math.Sqrt(float64(dim))
+	for s := 0; s < numShards; s++ {
+		rows := vocab / numShards
+		if s < vocab%numShards {
+			rows++
+		}
+		init := g.TruncatedNormal(tf.Float32, tf.Shape{rows, dim}, 0, std)
+		v := g.NewVariable(fmt.Sprintf("%s/shard_%d", name, s), init)
+		if deviceFor != nil && v.Node() != nil {
+			v.Node().SetDevice(deviceFor(s))
+		}
+		e.Shards = append(e.Shards, v)
+	}
+	return e, g.Err()
+}
+
+// Vars returns the shard variables (for optimizers and savers).
+func (e *ShardedEmbedding) Vars() []*tf.Variable { return e.Shards }
+
+// Lookup embeds integer ids [batch] into vectors [batch, dim] with the
+// Figure-3 dataflow: Mod routes each id to its shard, a dynamic Part splits
+// the indices, a Gather per shard reads only the referenced rows, and a
+// Stitch reassembles the batch order. Every op has a registered gradient,
+// so backpropagation yields sparse per-shard updates (§4.2).
+func (e *ShardedEmbedding) Lookup(g *tf.Graph, ids tf.Output) tf.Output {
+	n := len(e.Shards)
+	if n == 1 {
+		return g.Gather(e.Shards[0].Value(), ids)
+	}
+	shardsC := g.Const(int32(n))
+	shardOf := g.Sub(ids, g.Mul(g.Div(ids, shardsC), shardsC)) // ids mod n
+	rowOf := g.Div(ids, shardsC)                               // row within shard
+
+	rowParts := g.DynamicPartition(rowOf, shardOf, n)
+	// Original positions, to invert the partition at the Stitch.
+	positions := g.BuildOp("Range", "", nil,
+		g.Const(int32(0)), g.Cast(sizeOf(g, ids), tf.Int32), g.Const(int32(1))).Output(0)
+	posParts := g.DynamicPartition(positions, shardOf, n)
+
+	gathered := make([]tf.Output, n)
+	for s := 0; s < n; s++ {
+		gathered[s] = g.Gather(e.Shards[s].Value(), rowParts[s])
+	}
+	return g.DynamicStitch(posParts, gathered)
+}
+
+func sizeOf(g *tf.Graph, x tf.Output) tf.Output {
+	return g.BuildOp("Size", "", nil, x).Output(0)
+}
+
+// SoftmaxWeights are the output-layer parameters of a language model: a
+// [vocab, dim] weight matrix (sharded like an embedding) and a [vocab]
+// bias.
+type SoftmaxWeights struct {
+	W *ShardedEmbedding
+	B *tf.Variable
+}
+
+// NewSoftmaxWeights creates softmax weights sharded across numShards.
+func NewSoftmaxWeights(g *tf.Graph, name string, vocab, dim, numShards int,
+	deviceFor func(shard int) string) (*SoftmaxWeights, error) {
+	w, err := NewShardedEmbedding(g, name+"/w", vocab, dim, numShards, deviceFor)
+	if err != nil {
+		return nil, err
+	}
+	b := g.NewVariableFromTensor(name+"/b", tf.NewTensor(tf.Float32, tf.Shape{vocab}))
+	return &SoftmaxWeights{W: w, B: b}, g.Err()
+}
+
+// Vars returns all trainable variables.
+func (s *SoftmaxWeights) Vars() []*tf.Variable {
+	return append(append([]*tf.Variable{}, s.W.Vars()...), s.B)
+}
+
+// FullSoftmaxLoss computes the exact softmax cross-entropy over the whole
+// vocabulary: logits = hidden · Wᵀ + b (the dashed lines of Figure 9 — a
+// |V|-wide matrix multiply per step).
+func (s *SoftmaxWeights) FullSoftmaxLoss(g *tf.Graph, hidden, labels tf.Output) tf.Output {
+	if len(s.W.Shards) == 1 {
+		logits := g.Add(g.MatMulT(hidden, s.W.Shards[0].Value(), false, true), s.B.Value())
+		return g.Mean(g.SparseSoftmaxCrossEntropy(logits, labels), nil, false)
+	}
+	// Model parallelism (§6.4): each shard computes its partial logits
+	// where its rows live; results concatenate along the class axis in
+	// shard-interleaved order, so labels are remapped accordingly.
+	n := len(s.W.Shards)
+	parts := make([]tf.Output, n)
+	for i, shard := range s.W.Shards {
+		parts[i] = g.MatMulT(hidden, shard.Value(), false, true)
+	}
+	biasOrdered := g.Gather(s.B.Value(), shardOrder(g, s.W.Vocab, n)) // [vocab], shard order
+	logits := g.Add(g.Concat(1, parts...), biasOrdered)
+	remapped := remapLabels(g, labels, s.W.Vocab, n)
+	return g.Mean(g.SparseSoftmaxCrossEntropy(logits, remapped), nil, false)
+}
+
+// shardOrder returns the vocabulary ids in shard-concatenated order:
+// shard 0's rows (ids ≡ 0 mod n) first, then shard 1's, etc.
+func shardOrder(g *tf.Graph, vocab, n int) tf.Output {
+	order := make([]int32, 0, vocab)
+	for s := 0; s < n; s++ {
+		for id := s; id < vocab; id += n {
+			order = append(order, int32(id))
+		}
+	}
+	return g.Const(order)
+}
+
+// remapLabels converts vocabulary ids to their column in the
+// shard-concatenated logits.
+func remapLabels(g *tf.Graph, labels tf.Output, vocab, n int) tf.Output {
+	// column(id) = offset(shard) + id/n where shard = id mod n.
+	inverse := make([]int32, vocab)
+	col := 0
+	for s := 0; s < n; s++ {
+		for id := s; id < vocab; id += n {
+			inverse[id] = int32(col)
+			col++
+		}
+	}
+	return g.Gather(g.Const(inverse), labels)
+}
+
+// SampledSoftmaxLoss approximates the softmax loss using the true class
+// plus numSampled log-uniform false classes (§4.2, §6.4: "sampled softmax
+// … performs a sparse multiplication based on the true class for an
+// example and a set of randomly sampled false classes", reducing the data
+// transferred and the computation performed by |V|/numSampled).
+func (s *SoftmaxWeights) SampledSoftmaxLoss(g *tf.Graph, hidden, labels tf.Output, numSampled int) tf.Output {
+	sampledIDs, expected := g.LogUniformCandidateSampler(numSampled, s.W.Vocab)
+
+	batch := hidden.Shape()[0]
+	dim := hidden.Shape()[1]
+
+	// True-class logits: one row gather per example, then a row-wise dot
+	// product — no dense |V|-wide multiply anywhere. The sharded lookup's
+	// result shape is dynamic (DynamicStitch), so pin it statically for
+	// the differentiable ops downstream.
+	wTrue := g.Reshape(s.lookupRows(g, labels), tf.Shape{batch, dim})
+	bTrue := g.Gather(s.B.Value(), labels)
+	trueLogit := g.Add(g.Sum(g.Mul(hidden, wTrue), []int{1}, false), bTrue) // [batch]
+
+	// Sampled-class logits: [batch, numSampled].
+	wSampled := g.Reshape(s.lookupRows(g, sampledIDs), tf.Shape{numSampled, dim})
+	bSampled := g.Gather(s.B.Value(), sampledIDs)
+	sampledLogits := g.Add(g.MatMulT(hidden, wSampled, false, true), bSampled)
+	// Subtract log expected counts so the estimator stays unbiased.
+	sampledLogits = g.Sub(sampledLogits, g.Log(g.Maximum(expected, g.Const(float32(1e-20)))))
+
+	logits := g.Concat(1, g.Reshape(trueLogit, tf.Shape{-1, 1}), sampledLogits)
+	zeros := g.ZerosLike(g.Cast(labels, tf.Int32))
+	return g.Mean(g.SparseSoftmaxCrossEntropy(logits, zeros), nil, false)
+}
+
+// lookupRows gathers rows of the sharded weight matrix.
+func (s *SoftmaxWeights) lookupRows(g *tf.Graph, ids tf.Output) tf.Output {
+	return s.W.Lookup(g, ids)
+}

@@ -1,0 +1,152 @@
+// Package nn provides neural-network building blocks as user-level graph
+// construction, the layering the paper prescribes (§5: "users compose
+// standard operations to build higher-level abstractions, such as neural
+// network layers"): dense and convolutional layers, an LSTM cell (the
+// LSTM-512-512 of §6.4), the sharded embedding layer of §4.2/Figure 3, and
+// the full and sampled softmax classifiers compared in §6.4.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/tf"
+)
+
+// Activation is an element-wise nonlinearity applied by layers.
+type Activation func(g *tf.Graph, x tf.Output) tf.Output
+
+// Standard activations.
+var (
+	// Linear applies no nonlinearity.
+	Linear Activation = func(g *tf.Graph, x tf.Output) tf.Output { return x }
+	// ReLU applies max(x, 0).
+	ReLU Activation = func(g *tf.Graph, x tf.Output) tf.Output { return g.Relu(x) }
+	// TanhAct applies tanh.
+	TanhAct Activation = func(g *tf.Graph, x tf.Output) tf.Output { return g.Tanh(x) }
+	// SigmoidAct applies the logistic function.
+	SigmoidAct Activation = func(g *tf.Graph, x tf.Output) tf.Output { return g.Sigmoid(x) }
+)
+
+// Dense applies y = act(x·W + b) with W [in, units] initialized from a
+// truncated normal scaled by 1/√in and b zero.
+func Dense(g *tf.Graph, name string, x tf.Output, units int, act Activation) (tf.Output, []*tf.Variable) {
+	in := x.Shape()[x.Shape().Rank()-1]
+	std := 1.0 / math.Sqrt(float64(in))
+	w := g.NewVariable(name+"/w", g.TruncatedNormal(tf.Float32, tf.Shape{in, units}, 0, std))
+	b := g.NewVariableFromTensor(name+"/b", tf.NewTensor(tf.Float32, tf.Shape{units}))
+	y := g.BiasAdd(g.MatMul(x, w.Value()), b.Value())
+	return act(g, y), []*tf.Variable{w, b}
+}
+
+// Conv2DLayer applies act(conv2d(x, W) + b) on NHWC input with an HWIO
+// filter of the given spatial kernel and output channels.
+func Conv2DLayer(g *tf.Graph, name string, x tf.Output, filters, kh, kw int,
+	strides [2]int, padding string, act Activation) (tf.Output, []*tf.Variable) {
+	inC := x.Shape()[3]
+	fanIn := float64(kh * kw * inC)
+	std := math.Sqrt(2 / fanIn)
+	w := g.NewVariable(name+"/filter", g.TruncatedNormal(tf.Float32, tf.Shape{kh, kw, inC, filters}, 0, std))
+	b := g.NewVariableFromTensor(name+"/b", tf.NewTensor(tf.Float32, tf.Shape{filters}))
+	y := g.BiasAdd(g.Conv2D(x, w.Value(), strides, padding), b.Value())
+	return act(g, y), []*tf.Variable{w, b}
+}
+
+// Flatten reshapes [batch, ...] to [batch, prod(...)].
+func Flatten(g *tf.Graph, x tf.Output) tf.Output {
+	rest := 1
+	for _, d := range x.Shape()[1:] {
+		if d < 0 {
+			rest = -1
+			break
+		}
+		rest *= d
+	}
+	return g.Reshape(x, tf.Shape{x.Shape()[0], rest})
+}
+
+// LSTMCell is a standard LSTM with concatenated gate weights, the network
+// of the language-modeling experiment (§6.4, LSTM-512-512 from Józefowicz
+// et al.). All four gates share one [in+hidden, 4·hidden] matrix multiply.
+type LSTMCell struct {
+	Hidden int
+	W      *tf.Variable // [in+hidden, 4*hidden]
+	B      *tf.Variable // [4*hidden]
+}
+
+// NewLSTMCell creates an LSTM cell.
+func NewLSTMCell(g *tf.Graph, name string, inputSize, hidden int) *LSTMCell {
+	std := 1.0 / math.Sqrt(float64(inputSize+hidden))
+	w := g.NewVariable(name+"/w", g.TruncatedNormal(tf.Float32, tf.Shape{inputSize + hidden, 4 * hidden}, 0, std))
+	b := g.NewVariableFromTensor(name+"/b", tf.NewTensor(tf.Float32, tf.Shape{4 * hidden}))
+	return &LSTMCell{Hidden: hidden, W: w, B: b}
+}
+
+// Vars returns the cell's trainable variables.
+func (c *LSTMCell) Vars() []*tf.Variable { return []*tf.Variable{c.W, c.B} }
+
+// Step advances the cell one timestep: x [batch, in], h/cs [batch, hidden].
+func (c *LSTMCell) Step(g *tf.Graph, x, h, cs tf.Output) (hNext, cNext tf.Output) {
+	concat := g.Concat(1, x, h)
+	gates := g.BiasAdd(g.MatMul(concat, c.W.Value()), c.B.Value())
+	parts := g.Split(gates, 1, []int{c.Hidden, c.Hidden, c.Hidden, c.Hidden})
+	i := g.Sigmoid(parts[0])
+	f := g.Sigmoid(parts[1])
+	o := g.Sigmoid(parts[2])
+	cand := g.Tanh(parts[3])
+	cNext = g.Add(g.Mul(f, cs), g.Mul(i, cand))
+	hNext = g.Mul(o, g.Tanh(cNext))
+	return hNext, cNext
+}
+
+// ZeroState returns zero h and c for the given batch size.
+func (c *LSTMCell) ZeroState(g *tf.Graph, batch int) (h, cs tf.Output) {
+	zero := g.Const(tf.NewTensor(tf.Float32, tf.Shape{batch, c.Hidden}))
+	return zero, g.Identity(zero)
+}
+
+// Unroll applies the cell across a sequence of inputs, returning the
+// per-step hidden states (the static unrolling used before dynamic loops;
+// the executor's Switch/Merge loops offer the §3.4 alternative).
+func (c *LSTMCell) Unroll(g *tf.Graph, inputs []tf.Output, h, cs tf.Output) ([]tf.Output, tf.Output, tf.Output) {
+	outs := make([]tf.Output, len(inputs))
+	for i, x := range inputs {
+		h, cs = c.Step(g, x, h, cs)
+		outs[i] = h
+	}
+	return outs, h, cs
+}
+
+// CrossEntropyLoss is mean softmax cross-entropy over a batch with integer
+// labels plus optional L2 weight decay.
+func CrossEntropyLoss(g *tf.Graph, logits, labels tf.Output, l2 float64, vars []*tf.Variable) tf.Output {
+	loss := g.Mean(g.SparseSoftmaxCrossEntropy(logits, labels), nil, false)
+	if l2 > 0 {
+		terms := []tf.Output{loss}
+		for _, v := range vars {
+			terms = append(terms, g.Mul(g.Const(float32(l2)), g.L2Loss(v.Value())))
+		}
+		loss = g.AddN(terms...)
+	}
+	return loss
+}
+
+// Accuracy is the fraction of rows where argmax(logits) equals the label.
+func Accuracy(g *tf.Graph, logits, labels tf.Output) tf.Output {
+	pred := g.ArgMax(logits, 1)
+	correct := g.Cast(g.Equal(pred, g.Cast(labels, tf.Int64)), tf.Float32)
+	return g.Mean(correct, nil, false)
+}
+
+// Classifier chains Dense layers with ReLU and a linear head.
+func Classifier(g *tf.Graph, name string, x tf.Output, hidden []int, classes int) (tf.Output, []*tf.Variable) {
+	var vars []*tf.Variable
+	cur := x
+	for i, units := range hidden {
+		var vs []*tf.Variable
+		cur, vs = Dense(g, fmt.Sprintf("%s/fc%d", name, i), cur, units, ReLU)
+		vars = append(vars, vs...)
+	}
+	logits, vs := Dense(g, name+"/head", cur, classes, Linear)
+	return logits, append(vars, vs...)
+}

@@ -1,0 +1,505 @@
+package tf
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// op adds a node returning its first output, wrapped.
+func (gr *Graph) op(opType string, attrs map[string]any, ins ...Output) Output {
+	eps := make([]graph.Endpoint, len(ins))
+	for i, in := range ins {
+		eps[i] = in.ep
+	}
+	return gr.wrap(gr.b.Op(opType, eps, attrs))
+}
+
+// opNode adds a node returning the Operation.
+func (gr *Graph) opNode(opType, name string, attrs map[string]any, ins ...Output) *Operation {
+	eps := make([]graph.Endpoint, len(ins))
+	for i, in := range ins {
+		eps[i] = in.ep
+	}
+	n := gr.b.Node(opType, eps, name, attrs)
+	return &Operation{n: n, g: gr}
+}
+
+// Const embeds a constant tensor. Accepted values: *Tensor, float32,
+// float64, int, int32, int64, bool, string, []float32, []int32, []int64,
+// [][]float32.
+func (gr *Graph) Const(value any) Output {
+	t, err := toTensor(value)
+	if err != nil {
+		gr.b.Fail(err)
+		return Output{}
+	}
+	return gr.op("Const", map[string]any{"value": t, "dtype": t.DType()})
+}
+
+func toTensor(value any) (*Tensor, error) {
+	switch v := value.(type) {
+	case *Tensor:
+		return v, nil
+	case float32:
+		return Scalar(v), nil
+	case float64:
+		return tensor.ScalarOf(Float64, v), nil
+	case int:
+		return ScalarInt(int32(v)), nil
+	case int32:
+		return ScalarInt(v), nil
+	case int64:
+		return tensor.ScalarOf(Int64, float64(v)), nil
+	case bool:
+		return ScalarBool(v), nil
+	case string:
+		return ScalarString(v), nil
+	case []float32:
+		return FromFloat32s(Shape{len(v)}, v), nil
+	case []float64:
+		return FromFloat64s(Shape{len(v)}, v), nil
+	case []int32:
+		return FromInt32s(Shape{len(v)}, v), nil
+	case []int64:
+		return FromInt64s(Shape{len(v)}, v), nil
+	case []string:
+		return FromStrings(Shape{len(v)}, v), nil
+	case [][]float32:
+		rows := len(v)
+		if rows == 0 {
+			return FromFloat32s(Shape{0, 0}, nil), nil
+		}
+		cols := len(v[0])
+		flat := make([]float32, 0, rows*cols)
+		for _, row := range v {
+			if len(row) != cols {
+				return nil, fmt.Errorf("tf: ragged [][]float32 constant")
+			}
+			flat = append(flat, row...)
+		}
+		return FromFloat32s(Shape{rows, cols}, flat), nil
+	default:
+		return nil, fmt.Errorf("tf: cannot convert %T to a tensor", value)
+	}
+}
+
+// Placeholder declares a value that must be fed at Run time (§3.2).
+func (gr *Graph) Placeholder(name string, dt DType, shape Shape) Output {
+	n := gr.b.Node("Placeholder", nil, name, map[string]any{"dtype": dt, "shape": shape})
+	if n == nil {
+		return Output{}
+	}
+	return gr.wrap(n.Out(0))
+}
+
+// --- arithmetic -----------------------------------------------------------
+
+// Add returns x + y with broadcasting.
+func (gr *Graph) Add(x, y Output) Output { return gr.op("Add", nil, x, y) }
+
+// Sub returns x - y with broadcasting.
+func (gr *Graph) Sub(x, y Output) Output { return gr.op("Sub", nil, x, y) }
+
+// Mul returns x * y with broadcasting.
+func (gr *Graph) Mul(x, y Output) Output { return gr.op("Mul", nil, x, y) }
+
+// Div returns x / y with broadcasting.
+func (gr *Graph) Div(x, y Output) Output { return gr.op("Div", nil, x, y) }
+
+// Pow returns x ** y with broadcasting.
+func (gr *Graph) Pow(x, y Output) Output { return gr.op("Pow", nil, x, y) }
+
+// Maximum returns max(x, y) element-wise.
+func (gr *Graph) Maximum(x, y Output) Output { return gr.op("Maximum", nil, x, y) }
+
+// Minimum returns min(x, y) element-wise.
+func (gr *Graph) Minimum(x, y Output) Output { return gr.op("Minimum", nil, x, y) }
+
+// SquaredDifference returns (x-y)² element-wise.
+func (gr *Graph) SquaredDifference(x, y Output) Output {
+	return gr.op("SquaredDifference", nil, x, y)
+}
+
+// Neg returns -x.
+func (gr *Graph) Neg(x Output) Output { return gr.op("Neg", nil, x) }
+
+// Abs returns |x|.
+func (gr *Graph) Abs(x Output) Output { return gr.op("Abs", nil, x) }
+
+// Exp returns eˣ.
+func (gr *Graph) Exp(x Output) Output { return gr.op("Exp", nil, x) }
+
+// Log returns ln x.
+func (gr *Graph) Log(x Output) Output { return gr.op("Log", nil, x) }
+
+// Sqrt returns √x.
+func (gr *Graph) Sqrt(x Output) Output { return gr.op("Sqrt", nil, x) }
+
+// Square returns x².
+func (gr *Graph) Square(x Output) Output { return gr.op("Square", nil, x) }
+
+// Tanh returns tanh x.
+func (gr *Graph) Tanh(x Output) Output { return gr.op("Tanh", nil, x) }
+
+// Sigmoid returns 1/(1+e⁻ˣ).
+func (gr *Graph) Sigmoid(x Output) Output { return gr.op("Sigmoid", nil, x) }
+
+// Relu returns max(x, 0).
+func (gr *Graph) Relu(x Output) Output { return gr.op("Relu", nil, x) }
+
+// AddN sums the given outputs.
+func (gr *Graph) AddN(xs ...Output) Output {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	return gr.op("AddN", nil, xs...)
+}
+
+// MatMul multiplies rank-2 tensors.
+func (gr *Graph) MatMul(x, y Output) Output { return gr.op("MatMul", nil, x, y) }
+
+// MatMulT multiplies rank-2 tensors with transpose flags.
+func (gr *Graph) MatMulT(x, y Output, transposeX, transposeY bool) Output {
+	return gr.op("MatMul", map[string]any{"transpose_a": transposeX, "transpose_b": transposeY}, x, y)
+}
+
+// BatchMatMul multiplies rank-3 tensors batch-wise.
+func (gr *Graph) BatchMatMul(x, y Output) Output { return gr.op("BatchMatMul", nil, x, y) }
+
+// --- comparisons and selection ---------------------------------------------
+
+// Equal compares element-wise, producing Bool.
+func (gr *Graph) Equal(x, y Output) Output { return gr.op("Equal", nil, x, y) }
+
+// NotEqual compares element-wise.
+func (gr *Graph) NotEqual(x, y Output) Output { return gr.op("NotEqual", nil, x, y) }
+
+// Less compares element-wise.
+func (gr *Graph) Less(x, y Output) Output { return gr.op("Less", nil, x, y) }
+
+// LessEqual compares element-wise.
+func (gr *Graph) LessEqual(x, y Output) Output { return gr.op("LessEqual", nil, x, y) }
+
+// Greater compares element-wise.
+func (gr *Graph) Greater(x, y Output) Output { return gr.op("Greater", nil, x, y) }
+
+// GreaterEqual compares element-wise.
+func (gr *Graph) GreaterEqual(x, y Output) Output { return gr.op("GreaterEqual", nil, x, y) }
+
+// LogicalAnd combines Bool tensors.
+func (gr *Graph) LogicalAnd(x, y Output) Output { return gr.op("LogicalAnd", nil, x, y) }
+
+// LogicalOr combines Bool tensors.
+func (gr *Graph) LogicalOr(x, y Output) Output { return gr.op("LogicalOr", nil, x, y) }
+
+// LogicalNot inverts a Bool tensor.
+func (gr *Graph) LogicalNot(x Output) Output { return gr.op("LogicalNot", nil, x) }
+
+// Select picks x where cond else y.
+func (gr *Graph) Select(cond, x, y Output) Output { return gr.op("Select", nil, cond, x, y) }
+
+// --- reductions -------------------------------------------------------------
+
+func reduceAttrs(axes []int, keepDims bool) map[string]any {
+	attrs := map[string]any{"keep_dims": keepDims}
+	if axes != nil {
+		attrs["reduction_indices"] = axes
+	}
+	return attrs
+}
+
+// Sum reduces by summation over axes (nil = all).
+func (gr *Graph) Sum(x Output, axes []int, keepDims bool) Output {
+	return gr.op("Sum", reduceAttrs(axes, keepDims), x)
+}
+
+// Mean reduces by averaging over axes (nil = all).
+func (gr *Graph) Mean(x Output, axes []int, keepDims bool) Output {
+	return gr.op("Mean", reduceAttrs(axes, keepDims), x)
+}
+
+// Max reduces by maximum over axes (nil = all).
+func (gr *Graph) Max(x Output, axes []int, keepDims bool) Output {
+	return gr.op("Max", reduceAttrs(axes, keepDims), x)
+}
+
+// Min reduces by minimum over axes (nil = all).
+func (gr *Graph) Min(x Output, axes []int, keepDims bool) Output {
+	return gr.op("Min", reduceAttrs(axes, keepDims), x)
+}
+
+// ArgMax returns the index of the largest element along axis.
+func (gr *Graph) ArgMax(x Output, axis int) Output {
+	return gr.op("ArgMax", map[string]any{"axis": axis}, x)
+}
+
+// L2Loss returns sum(x²)/2.
+func (gr *Graph) L2Loss(x Output) Output { return gr.op("L2Loss", nil, x) }
+
+// --- shape manipulation -------------------------------------------------
+
+// ShapeOf returns the runtime shape of x as an int32 vector.
+func (gr *Graph) ShapeOf(x Output) Output { return gr.op("Shape", nil, x) }
+
+// Reshape reshapes x to a static shape (-1 infers one dimension).
+func (gr *Graph) Reshape(x Output, shape Shape) Output {
+	return gr.wrap(gr.b.ReshapeTo(x.ep, shape))
+}
+
+// ReshapeLike reshapes x to the runtime shape of ref.
+func (gr *Graph) ReshapeLike(x, ref Output) Output {
+	return gr.wrap(gr.b.ReshapeLike(x.ep, ref.ep))
+}
+
+// Transpose permutes dimensions (nil perm reverses).
+func (gr *Graph) Transpose(x Output, perm []int) Output {
+	return gr.wrap(gr.b.Transpose(x.ep, perm))
+}
+
+// Concat joins outputs along axis.
+func (gr *Graph) Concat(axis int, xs ...Output) Output {
+	return gr.op("Concat", map[string]any{"axis": axis}, xs...)
+}
+
+// Split divides x along axis into len(sizes) pieces.
+func (gr *Graph) Split(x Output, axis int, sizes []int) []Output {
+	n := gr.opNode("Split", "", map[string]any{"axis": axis, "sizes": sizes}, x)
+	if n.n == nil {
+		return make([]Output, len(sizes))
+	}
+	out := make([]Output, len(sizes))
+	for i := range out {
+		out[i] = n.Output(i)
+	}
+	return out
+}
+
+// Slice extracts the region [begin, begin+size) (size -1 = to end).
+func (gr *Graph) Slice(x Output, begin, size []int) Output {
+	return gr.op("Slice", map[string]any{"begin": begin, "size": size}, x)
+}
+
+// Pad zero-pads x; paddings is a flat [before0, after0, before1, ...] list.
+func (gr *Graph) Pad(x Output, paddings []int) Output {
+	return gr.op("Pad", map[string]any{"paddings": paddings}, x)
+}
+
+// Tile repeats x by multiples in each dimension.
+func (gr *Graph) Tile(x Output, multiples []int) Output {
+	return gr.op("Tile", map[string]any{"multiples": multiples}, x)
+}
+
+// ExpandDims inserts a size-1 dimension at axis.
+func (gr *Graph) ExpandDims(x Output, axis int) Output {
+	return gr.op("ExpandDims", map[string]any{"axis": axis}, x)
+}
+
+// Squeeze removes size-1 dimensions (all, or just dims when given).
+func (gr *Graph) Squeeze(x Output, dims ...int) Output {
+	attrs := map[string]any{}
+	if len(dims) > 0 {
+		attrs["squeeze_dims"] = dims
+	}
+	return gr.op("Squeeze", attrs, x)
+}
+
+// Pack stacks same-shaped outputs along a new leading dimension.
+func (gr *Graph) Pack(xs ...Output) Output { return gr.op("Pack", nil, xs...) }
+
+// Unpack splits x along its leading dimension.
+func (gr *Graph) Unpack(x Output) []Output {
+	n := gr.opNode("Unpack", "", nil, x)
+	if n.n == nil {
+		return nil
+	}
+	out := make([]Output, n.NumOutputs())
+	for i := range out {
+		out[i] = n.Output(i)
+	}
+	return out
+}
+
+// Cast converts x to dtype.
+func (gr *Graph) Cast(x Output, dt DType) Output {
+	return gr.op("Cast", map[string]any{"DstT": dt}, x)
+}
+
+// OneHot expands integer indices to one-hot rows of the given depth.
+func (gr *Graph) OneHot(indices Output, depth int, dt DType) Output {
+	return gr.op("OneHot", map[string]any{"depth": depth, "dtype": dt}, indices)
+}
+
+// Gather reads rows of params selected by indices — the sparse read of the
+// embedding layer (§4.2).
+func (gr *Graph) Gather(params, indices Output) Output {
+	return gr.op("Gather", nil, params, indices)
+}
+
+// DynamicPartition routes rows of data into numPartitions outputs (§4.2).
+func (gr *Graph) DynamicPartition(data, partitions Output, numPartitions int) []Output {
+	n := gr.opNode("DynamicPartition", "", map[string]any{"num_partitions": numPartitions}, data, partitions)
+	if n.n == nil {
+		return make([]Output, numPartitions)
+	}
+	out := make([]Output, numPartitions)
+	for i := range out {
+		out[i] = n.Output(i)
+	}
+	return out
+}
+
+// DynamicStitch inverts DynamicPartition (§4.2, Figure 3).
+func (gr *Graph) DynamicStitch(indices, data []Output) Output {
+	ins := make([]Output, 0, len(indices)+len(data))
+	ins = append(ins, indices...)
+	ins = append(ins, data...)
+	return gr.op("DynamicStitch", nil, ins...)
+}
+
+// --- neural network ---------------------------------------------------------
+
+// Conv2D convolves NHWC input with an HWIO filter.
+func (gr *Graph) Conv2D(input, filter Output, strides [2]int, padding string) Output {
+	return gr.op("Conv2D", map[string]any{"strides": strides[:], "padding": padding}, input, filter)
+}
+
+// MaxPool max-pools NHWC input.
+func (gr *Graph) MaxPool(input Output, ksize, strides [2]int, padding string) Output {
+	return gr.op("MaxPool", map[string]any{"ksize": ksize[:], "strides": strides[:], "padding": padding}, input)
+}
+
+// AvgPool average-pools NHWC input.
+func (gr *Graph) AvgPool(input Output, ksize, strides [2]int, padding string) Output {
+	return gr.op("AvgPool", map[string]any{"ksize": ksize[:], "strides": strides[:], "padding": padding}, input)
+}
+
+// BiasAdd adds a rank-1 bias over the last dimension.
+func (gr *Graph) BiasAdd(value, bias Output) Output { return gr.op("BiasAdd", nil, value, bias) }
+
+// Softmax normalizes the last axis into probabilities.
+func (gr *Graph) Softmax(x Output) Output { return gr.op("Softmax", nil, x) }
+
+// LogSoftmax returns log(softmax(x)).
+func (gr *Graph) LogSoftmax(x Output) Output { return gr.op("LogSoftmax", nil, x) }
+
+// SoftmaxCrossEntropy returns the per-example loss between logits and
+// one-hot (or soft) labels.
+func (gr *Graph) SoftmaxCrossEntropy(logits, labels Output) Output {
+	n := gr.opNode("SoftmaxCrossEntropyWithLogits", "", nil, logits, labels)
+	if n.n == nil {
+		return Output{}
+	}
+	return n.Output(0)
+}
+
+// SparseSoftmaxCrossEntropy returns the per-example loss between logits and
+// integer class labels.
+func (gr *Graph) SparseSoftmaxCrossEntropy(logits, labels Output) Output {
+	n := gr.opNode("SparseSoftmaxCrossEntropyWithLogits", "", nil, logits, labels)
+	if n.n == nil {
+		return Output{}
+	}
+	return n.Output(0)
+}
+
+// InTopK reports whether each target class is within the top k predictions.
+func (gr *Graph) InTopK(predictions, targets Output, k int) Output {
+	return gr.op("InTopK", map[string]any{"k": k}, predictions, targets)
+}
+
+// --- random ------------------------------------------------------------------
+
+func (gr *Graph) randomAttrs(dt DType, shape Shape, extra map[string]any) map[string]any {
+	attrs := map[string]any{"dtype": dt, "shape": shape, "seed": int(gr.g.Seed())*1000003 + gr.g.NumNodes() + 1}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	return attrs
+}
+
+// RandomUniform samples U[lo, hi).
+func (gr *Graph) RandomUniform(dt DType, shape Shape, lo, hi float64) Output {
+	return gr.op("RandomUniform", gr.randomAttrs(dt, shape, map[string]any{"minval": lo, "maxval": hi}))
+}
+
+// RandomNormal samples N(mean, stddev²).
+func (gr *Graph) RandomNormal(dt DType, shape Shape, mean, stddev float64) Output {
+	return gr.op("RandomStandardNormal", gr.randomAttrs(dt, shape, map[string]any{"mean": mean, "stddev": stddev}))
+}
+
+// TruncatedNormal samples N(mean, stddev²) clipped to two standard
+// deviations — the standard weight initializer.
+func (gr *Graph) TruncatedNormal(dt DType, shape Shape, mean, stddev float64) Output {
+	return gr.op("TruncatedNormal", gr.randomAttrs(dt, shape, map[string]any{"mean": mean, "stddev": stddev}))
+}
+
+// RandomUniformInt samples integers in [0, maxval).
+func (gr *Graph) RandomUniformInt(shape Shape, maxval int) Output {
+	return gr.op("RandomUniformInt", gr.randomAttrs(Int32, shape, map[string]any{"maxval": maxval}))
+}
+
+// LogUniformCandidateSampler draws sampled-softmax candidates and their
+// expected counts (§4.2/§6.4).
+func (gr *Graph) LogUniformCandidateSampler(numSampled, rangeMax int) (ids, expected Output) {
+	n := gr.opNode("LogUniformCandidateSampler", "",
+		gr.randomAttrs(Int32, nil, map[string]any{"num_sampled": numSampled, "range_max": rangeMax}))
+	if n.n == nil {
+		return Output{}, Output{}
+	}
+	return n.Output(0), n.Output(1)
+}
+
+// --- misc --------------------------------------------------------------------
+
+// BuildOp adds an arbitrary registered operation by type name — the escape
+// hatch for companion packages and for users extending the op set with
+// their own kernels (§5).
+func (gr *Graph) BuildOp(opType, name string, attrs map[string]any, ins ...Output) *Operation {
+	eps := make([]graph.Endpoint, len(ins))
+	for i, in := range ins {
+		eps[i] = in.ep
+	}
+	n := gr.b.Node(opType, eps, name, attrs)
+	return &Operation{n: n, g: gr}
+}
+
+// Identity forwards x (useful with control dependencies).
+func (gr *Graph) Identity(x Output) Output { return gr.op("Identity", nil, x) }
+
+// IdentityWithControl forwards x after the given operations complete.
+func (gr *Graph) IdentityWithControl(x Output, deps ...*Operation) Output {
+	ctl := make([]*graph.Node, len(deps))
+	for i, d := range deps {
+		ctl[i] = d.n
+	}
+	n := gr.b.Node("Identity", []graph.Endpoint{x.ep}, "", nil, ctl...)
+	if n == nil {
+		return Output{}
+	}
+	return gr.wrap(n.Out(0))
+}
+
+// StopGradient forwards x but blocks differentiation (§4.1).
+func (gr *Graph) StopGradient(x Output) Output { return gr.op("StopGradient", nil, x) }
+
+// ZerosLike returns zeros shaped like x.
+func (gr *Graph) ZerosLike(x Output) Output { return gr.op("ZerosLike", nil, x) }
+
+// OnesLike returns ones shaped like x.
+func (gr *Graph) OnesLike(x Output) Output { return gr.op("OnesLike", nil, x) }
+
+// Group returns a NoOp that completes after all deps (the standard way to
+// bundle update operations).
+func (gr *Graph) Group(name string, deps ...*Operation) *Operation {
+	ctl := make([]*graph.Node, len(deps))
+	for i, d := range deps {
+		ctl[i] = d.n
+	}
+	n := gr.b.Group(name, ctl...)
+	return &Operation{n: n, g: gr}
+}
+
+// NoOp returns an operation with no effect, usable as a control anchor.
+func (gr *Graph) NoOp(name string) *Operation { return gr.opNode("NoOp", name, nil) }

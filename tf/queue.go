@@ -1,0 +1,129 @@
+package tf
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Queue wraps a stateful queue operation (§3.1): a bounded queue of tensor
+// tuples with blocking enqueue/dequeue, used for input pipelines
+// (backpressure) and synchronous training barriers (§4.4).
+type Queue struct {
+	g     *Graph
+	node  *graph.Node
+	types []DType
+	shape []Shape
+}
+
+func (gr *Graph) queueAttrs(name string, capacity int, types []DType, shapes []Shape, extra map[string]any) map[string]any {
+	attrs := map[string]any{
+		"capacity":        capacity,
+		"component_types": types,
+		"shared_name":     name,
+	}
+	if shapes != nil {
+		attrs["shapes"] = shapes
+	}
+	for k, v := range extra {
+		attrs[k] = v
+	}
+	return attrs
+}
+
+// FIFOQueue creates a first-in first-out queue holding tuples with the
+// given component types (and optional static shapes, required for
+// DequeueMany shape inference).
+func (gr *Graph) FIFOQueue(name string, capacity int, types []DType, shapes []Shape) *Queue {
+	n := gr.b.Node("FIFOQueue", nil, name, gr.queueAttrs(name, capacity, types, shapes, nil))
+	return &Queue{g: gr, node: n, types: types, shape: shapes}
+}
+
+// RandomShuffleQueue creates a queue whose Dequeue returns a uniformly
+// random element, keeping at least minAfterDequeue elements buffered.
+func (gr *Graph) RandomShuffleQueue(name string, capacity, minAfterDequeue int, types []DType, shapes []Shape) *Queue {
+	n := gr.b.Node("RandomShuffleQueue", nil, name, gr.queueAttrs(name, capacity, types, shapes, map[string]any{
+		"min_after_dequeue": minAfterDequeue,
+		"seed":              int(gr.g.Seed())*7919 + gr.g.NumNodes() + 1,
+	}))
+	return &Queue{g: gr, node: n, types: types, shape: shapes}
+}
+
+// PaddingFIFOQueue creates a FIFO queue whose DequeueMany pads
+// variable-shaped components to a common shape.
+func (gr *Graph) PaddingFIFOQueue(name string, capacity int, types []DType) *Queue {
+	n := gr.b.Node("PaddingFIFOQueue", nil, name, gr.queueAttrs(name, capacity, types, nil, nil))
+	return &Queue{g: gr, node: n, types: types}
+}
+
+func (q *Queue) ref() Output {
+	if q.node == nil {
+		return Output{}
+	}
+	return q.g.wrap(q.node.Out(0))
+}
+
+// Enqueue returns a blocking op that appends one element.
+func (q *Queue) Enqueue(components ...Output) *Operation {
+	ins := append([]Output{q.ref()}, components...)
+	return q.g.opNode("QueueEnqueue", "", nil, ins...)
+}
+
+// EnqueueMany returns an op that splits each component along its leading
+// dimension and enqueues the rows.
+func (q *Queue) EnqueueMany(components ...Output) *Operation {
+	ins := append([]Output{q.ref()}, components...)
+	return q.g.opNode("QueueEnqueueMany", "", nil, ins...)
+}
+
+// Dequeue returns outputs for one dequeued element.
+func (q *Queue) Dequeue() []Output {
+	n := q.g.opNode("QueueDequeue", "", map[string]any{
+		"component_types": q.types, "shapes": q.shape,
+	}, q.ref())
+	if n.n == nil {
+		return make([]Output, len(q.types))
+	}
+	out := make([]Output, n.NumOutputs())
+	for i := range out {
+		out[i] = n.Output(i)
+	}
+	return out
+}
+
+// DequeueMany returns outputs for n dequeued elements, stacked along a new
+// leading dimension — the standard way to form mini-batches.
+func (q *Queue) DequeueMany(n int) []Output {
+	node := q.g.opNode("QueueDequeueMany", "", map[string]any{
+		"component_types": q.types, "shapes": q.shape, "n": n,
+	}, q.ref())
+	if node.n == nil {
+		return make([]Output, len(q.types))
+	}
+	out := make([]Output, node.NumOutputs())
+	for i := range out {
+		out[i] = node.Output(i)
+	}
+	return out
+}
+
+// Close returns an op that closes the queue: enqueues fail, dequeues drain.
+func (q *Queue) Close() *Operation {
+	return q.g.opNode("QueueClose", "", nil, q.ref())
+}
+
+// Size returns the queue's current element count.
+func (q *Queue) Size() Output {
+	return q.g.op("QueueSize", nil, q.ref())
+}
+
+// Components returns the queue's element arity.
+func (q *Queue) Components() int { return len(q.types) }
+
+// String names the queue.
+func (q *Queue) String() string {
+	if q.node == nil {
+		return "Queue(<invalid>)"
+	}
+	return fmt.Sprintf("Queue(%s)", q.node.Name())
+}

@@ -1,0 +1,236 @@
+// Package tf is the public client library of this TensorFlow (OSDI 2016)
+// reproduction: a Go analogue of the reference system's client API. Users
+// build a dataflow graph of operations connected by tensor-carrying edges
+// (§3.1), then execute arbitrary subgraphs of it — feeds in, fetches out —
+// through a Session (§3.2). Differentiation (§4.1), optimizers and
+// checkpointing (tf/train), neural-network layers and sharded embeddings
+// (tf/nn), and distributed execution (tf/dist) are all layered on top of
+// the same graph-construction primitives, in user-level code.
+package tf
+
+import (
+	"fmt"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Tensor is the dense n-dimensional array exchanged with the runtime.
+type Tensor = tensor.Tensor
+
+// Shape describes tensor extents; -1 marks an unknown dimension.
+type Shape = tensor.Shape
+
+// DType identifies a tensor element type.
+type DType = tensor.DType
+
+// Element types.
+const (
+	Bool    = tensor.Bool
+	Int32   = tensor.Int32
+	Int64   = tensor.Int64
+	Float32 = tensor.Float32
+	Float64 = tensor.Float64
+	String  = tensor.String
+)
+
+// Re-exported tensor constructors, so callers never import internal
+// packages directly.
+var (
+	// NewTensor allocates a zero-filled tensor.
+	NewTensor = tensor.New
+	// Scalar wraps a float32 into a rank-0 tensor.
+	Scalar = tensor.Scalar
+	// ScalarInt wraps an int32 into a rank-0 tensor.
+	ScalarInt = tensor.ScalarInt
+	// ScalarBool wraps a bool into a rank-0 tensor.
+	ScalarBool = tensor.ScalarBool
+	// ScalarString wraps a string into a rank-0 tensor.
+	ScalarString = tensor.ScalarString
+	// FromFloat32s wraps a float32 slice.
+	FromFloat32s = tensor.FromFloat32s
+	// FromFloat64s wraps a float64 slice.
+	FromFloat64s = tensor.FromFloat64s
+	// FromInt32s wraps an int32 slice.
+	FromInt32s = tensor.FromInt32s
+	// FromInt64s wraps an int64 slice.
+	FromInt64s = tensor.FromInt64s
+	// FromBools wraps a bool slice.
+	FromBools = tensor.FromBools
+	// FromStrings wraps a string slice.
+	FromStrings = tensor.FromStrings
+	// NewRNG creates a seeded random tensor generator.
+	NewRNG = tensor.NewRNG
+)
+
+// Output is one tensor-carrying edge of the graph: a specific output of an
+// operation. Outputs are comparable and usable as map keys (for feeds).
+type Output struct {
+	ep graph.Endpoint
+	g  *Graph
+}
+
+// DType returns the element type carried by the edge.
+func (o Output) DType() DType { return o.ep.DType() }
+
+// Shape returns the statically inferred (possibly partial) shape.
+func (o Output) Shape() Shape { return o.ep.Shape() }
+
+// Op returns the operation producing this output.
+func (o Output) Op() *Operation { return &Operation{n: o.ep.Node, g: o.g} }
+
+// Valid reports whether the output refers to a real edge (false after a
+// failed build call).
+func (o Output) Valid() bool { return o.ep.Node != nil }
+
+// String names the edge as "node:index".
+func (o Output) String() string { return o.ep.String() }
+
+// Operation is one vertex of the graph.
+type Operation struct {
+	n *graph.Node
+	g *Graph
+}
+
+// Name returns the operation's unique name.
+func (op *Operation) Name() string { return op.n.Name() }
+
+// Type returns the operation type (e.g. "MatMul").
+func (op *Operation) Type() string { return op.n.Op() }
+
+// Output returns the i-th output edge.
+func (op *Operation) Output(i int) Output { return Output{ep: op.n.Out(i), g: op.g} }
+
+// NumOutputs returns the operation's output count.
+func (op *Operation) NumOutputs() int { return op.n.NumOutputs() }
+
+// Node exposes the underlying graph node for advanced integrations
+// (tf/train, tf/dist).
+func (op *Operation) Node() *graph.Node { return op.n }
+
+// Graph accumulates operations. All methods record the first construction
+// error; check Err (or use Must) before running.
+type Graph struct {
+	g         *graph.Graph
+	b         *build.B
+	inits     []*graph.Node
+	loopStack []*loopCtx
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph {
+	g := graph.New()
+	return &Graph{g: g, b: build.New(g)}
+}
+
+// Err returns the first graph-construction error, if any.
+func (gr *Graph) Err() error { return gr.b.Err() }
+
+// Must panics if any graph-construction call failed; it is the conventional
+// check after building a model.
+func (gr *Graph) Must() *Graph {
+	if err := gr.b.Err(); err != nil {
+		panic(fmt.Sprintf("tf: graph construction failed: %v", err))
+	}
+	return gr
+}
+
+// SetSeed fixes the graph-level random seed for reproducible initializers.
+func (gr *Graph) SetSeed(seed int64) { gr.g.SetSeed(seed) }
+
+// Raw exposes the underlying graph for the companion packages.
+func (gr *Graph) Raw() *graph.Graph { return gr.g }
+
+// Builder exposes the low-level node builder for the companion packages.
+func (gr *Graph) Builder() *build.B { return gr.b }
+
+// wrap converts an endpoint to an Output.
+func (gr *Graph) wrap(ep graph.Endpoint) Output { return Output{ep: ep, g: gr} }
+
+// Unwrap converts an Output back to its endpoint (companion packages).
+func (o Output) Unwrap() graph.Endpoint { return o.ep }
+
+// WrapOutput converts an endpoint into an Output of this graph (companion
+// packages).
+func (gr *Graph) WrapOutput(ep graph.Endpoint) Output { return gr.wrap(ep) }
+
+// AddInit registers an initialization op to be grouped by InitOp.
+func (gr *Graph) AddInit(op *graph.Node) { gr.inits = append(gr.inits, op) }
+
+// InitOp returns a NoOp that runs every registered variable initializer —
+// the conventional first step of a training session.
+func (gr *Graph) InitOp() *Operation {
+	n := gr.b.Group(gr.g.UniqueName("init"), gr.inits...)
+	return &Operation{n: n, g: gr}
+}
+
+// Session executes steps of the graph on the local device, caching pruned
+// subgraphs per step signature (§3.2, §5).
+type Session struct {
+	s  *core.Session
+	gr *Graph
+}
+
+// SessionOptions configures session behavior.
+type SessionOptions struct {
+	// DisableOptimizations turns off CSE and constant folding (§5).
+	DisableOptimizations bool
+}
+
+// NewSession creates a session. It fails if graph construction recorded an
+// error, so mistakes surface before the first step.
+func NewSession(gr *Graph, opts ...SessionOptions) (*Session, error) {
+	if err := gr.Err(); err != nil {
+		return nil, fmt.Errorf("tf: cannot create session on broken graph: %w", err)
+	}
+	o := core.Options{Optimize: true}
+	if len(opts) > 0 && opts[0].DisableOptimizations {
+		o.Optimize = false
+	}
+	return &Session{s: core.NewSession(gr.g, o), gr: gr}, nil
+}
+
+// Core exposes the underlying session for the companion packages.
+func (s *Session) Core() *core.Session { return s.s }
+
+// Run executes one step: feeds are bound, targets run for effect, and the
+// fetched outputs return in order. Concurrent Runs execute as concurrent
+// steps over shared state (§3.2).
+func (s *Session) Run(feeds map[Output]*Tensor, fetches []Output, targets ...*Operation) ([]*Tensor, error) {
+	f := make(map[graph.Endpoint]*tensor.Tensor, len(feeds))
+	for o, t := range feeds {
+		f[o.ep] = t
+	}
+	eps := make([]graph.Endpoint, len(fetches))
+	for i, o := range fetches {
+		if !o.Valid() {
+			return nil, fmt.Errorf("tf: fetch %d is invalid (graph error: %v)", i, s.gr.Err())
+		}
+		eps[i] = o.ep
+	}
+	ts := make([]*graph.Node, len(targets))
+	for i, t := range targets {
+		ts[i] = t.n
+	}
+	return s.s.Run(f, eps, ts)
+}
+
+// RunTargets runs target operations for effect only.
+func (s *Session) RunTargets(targets ...*Operation) error {
+	_, err := s.Run(nil, nil, targets...)
+	return err
+}
+
+// Fetch1 runs a single-fetch step.
+func (s *Session) Fetch1(feeds map[Output]*Tensor, fetch Output, targets ...*Operation) (*Tensor, error) {
+	out, err := s.Run(feeds, []Output{fetch}, targets...)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// Close releases the session's device state.
+func (s *Session) Close() { s.s.Close() }

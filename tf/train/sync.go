@@ -1,0 +1,182 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/tf"
+)
+
+// SyncReplicas implements the synchronous coordination of §4.4 (Figure
+// 4b/4c) with the queue-based construction the paper describes: a gradient
+// queue accumulates per-worker updates so they can be applied atomically,
+// and a token queue acts as the barrier that releases workers only after
+// the aggregated update is in place, so every worker reads the same
+// parameter version.
+//
+// With NumBackup > 0 the scheme becomes Figure 4c: NumWorkers+NumBackup
+// replicas compute gradients but only the first NumWorkers fresh updates
+// per step are aggregated; later (stale) updates are discarded by their
+// step tag, mirroring "the aggregation takes the first m of n updates
+// produced".
+type SyncReplicas struct {
+	g          *tf.Graph
+	NumWorkers int // m: gradients aggregated per step
+	NumBackup  int // b: extra proactive replicas (Figure 4c)
+
+	globalStep *tf.Variable
+	gradQueue  *tf.Queue
+	tokenQueue *tf.Queue
+
+	// Worker side.
+	enqueueGrads *tf.Operation
+	dequeueToken *tf.Operation
+	stepValue    tf.Output
+
+	// Chief side.
+	dequeueOne []tf.Output
+	gradFeeds  []tf.Output
+	applyOp    *tf.Operation
+	bumpStep   *tf.Operation
+	tokenFill  *tf.Operation
+	gradShapes []tf.Shape
+	gradDTypes []tf.DType
+}
+
+// NewSyncReplicas builds the coordination graph. grads are the worker's
+// computed gradients for vars (densified); opt applies the aggregated mean.
+func NewSyncReplicas(g *tf.Graph, opt Optimizer, grads []tf.Gradient, vars []*tf.Variable,
+	numWorkers, numBackup int) (*SyncReplicas, error) {
+	if numWorkers < 1 {
+		return nil, fmt.Errorf("train: SyncReplicas needs at least one worker")
+	}
+	if len(grads) != len(vars) {
+		return nil, fmt.Errorf("train: %d gradients for %d variables", len(grads), len(vars))
+	}
+
+	s := &SyncReplicas{g: g, NumWorkers: numWorkers, NumBackup: numBackup}
+	s.globalStep = g.NewVariableFromTensor("sync/global_step", tf.ScalarInt(0))
+	s.stepValue = s.globalStep.Value()
+
+	dense := make([]tf.Output, len(grads))
+	s.gradDTypes = make([]tf.DType, 0, len(grads)+1)
+	s.gradShapes = make([]tf.Shape, 0, len(grads)+1)
+	// Component 0 carries the worker's view of the global step so the
+	// chief can discard stale backup-worker updates.
+	s.gradDTypes = append(s.gradDTypes, tf.Int32)
+	s.gradShapes = append(s.gradShapes, tf.Shape{})
+	for i, gr := range grads {
+		d, err := g.DensifyGradient(gr)
+		if err != nil {
+			return nil, err
+		}
+		dense[i] = d
+		s.gradDTypes = append(s.gradDTypes, vars[i].DType())
+		s.gradShapes = append(s.gradShapes, vars[i].Shape())
+	}
+
+	total := numWorkers + numBackup
+	s.gradQueue = g.FIFOQueue("sync/grads", 2*total+2, s.gradDTypes, s.gradShapes)
+	s.tokenQueue = g.FIFOQueue("sync/tokens", 2*total+2, []tf.DType{tf.Int32}, []tf.Shape{{}})
+
+	// Worker ops: tag gradients with the current step and enqueue; block
+	// on the token queue before the next step (the barrier of Fig. 4b).
+	comps := append([]tf.Output{s.stepValue}, dense...)
+	s.enqueueGrads = s.gradQueue.Enqueue(comps...)
+	tok := s.tokenQueue.Dequeue()
+	s.dequeueToken = g.Group("sync/wait_token", tok[0].Op())
+
+	// Chief ops: dequeue one tagged gradient tuple; apply fed means.
+	s.dequeueOne = s.gradQueue.Dequeue()
+	s.gradFeeds = make([]tf.Output, len(vars))
+	applyGrads := make([]tf.Gradient, len(vars))
+	for i, v := range vars {
+		ph := g.Placeholder(fmt.Sprintf("sync/mean_grad_%d", i), v.DType(), v.Shape())
+		s.gradFeeds[i] = ph
+		applyGrads[i] = tf.Gradient{Dense: ph}
+	}
+	applyOp, err := opt.ApplyGradients(g, applyGrads, vars)
+	if err != nil {
+		return nil, err
+	}
+	s.applyOp = applyOp
+	s.bumpStep = s.globalStep.AssignAdd(g.Const(int32(1)))
+	s.tokenFill = s.tokenQueue.Enqueue(s.stepValue)
+	return s, g.Err()
+}
+
+// GlobalStep returns the shared step counter variable.
+func (s *SyncReplicas) GlobalStep() *tf.Variable { return s.globalStep }
+
+// WorkerStep runs one synchronous worker step: it blocks on the token queue
+// (the barrier guaranteeing all workers read the same parameter version,
+// Figure 4b), then computes and enqueues this worker's tagged gradients.
+// PrimeTokens must release the first round.
+func (s *SyncReplicas) WorkerStep(sess *tf.Session, feeds map[tf.Output]*tf.Tensor) error {
+	if err := sess.RunTargets(s.dequeueToken); err != nil {
+		return err
+	}
+	_, err := sess.Run(feeds, nil, s.enqueueGrads)
+	return err
+}
+
+// ChiefStep aggregates the first NumWorkers fresh gradient tuples (stale
+// tuples from backup workers of earlier steps are discarded), applies their
+// mean, advances the global step, and releases NumWorkers+NumBackup tokens.
+func (s *SyncReplicas) ChiefStep(sess *tf.Session) error {
+	stepT, err := sess.Fetch1(nil, s.stepValue)
+	if err != nil {
+		return err
+	}
+	current := int32(stepT.IntAt(0))
+
+	sums := make([]*tf.Tensor, len(s.gradFeeds))
+	fresh := 0
+	for fresh < s.NumWorkers {
+		tuple, err := sess.Run(nil, s.dequeueOne)
+		if err != nil {
+			return err
+		}
+		if int32(tuple[0].IntAt(0)) != current {
+			continue // stale update from a backup worker of an earlier step
+		}
+		for i, t := range tuple[1:] {
+			if sums[i] == nil {
+				sums[i] = t.Clone()
+				continue
+			}
+			for j := 0; j < t.NumElements(); j++ {
+				sums[i].SetFloat(j, sums[i].FloatAt(j)+t.FloatAt(j))
+			}
+		}
+		fresh++
+	}
+	feeds := make(map[tf.Output]*tf.Tensor, len(sums))
+	for i, t := range sums {
+		for j := 0; j < t.NumElements(); j++ {
+			t.SetFloat(j, t.FloatAt(j)/float64(s.NumWorkers))
+		}
+		feeds[s.gradFeeds[i]] = t
+	}
+	if _, err := sess.Run(feeds, nil, s.applyOp); err != nil {
+		return err
+	}
+	if err := sess.RunTargets(s.bumpStep); err != nil {
+		return err
+	}
+	for i := 0; i < s.NumWorkers+s.NumBackup; i++ {
+		if err := sess.RunTargets(s.tokenFill); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrimeTokens releases the first round of tokens so workers can start.
+func (s *SyncReplicas) PrimeTokens(sess *tf.Session) error {
+	for i := 0; i < s.NumWorkers+s.NumBackup; i++ {
+		if err := sess.RunTargets(s.tokenFill); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package train_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/tf"
+	"repro/tf/train"
+)
+
+// quadratic builds loss = mean((w·x − y)²) for a fixed dataset whose
+// optimum is w* = (2, −3).
+func quadratic(t *testing.T, g *tf.Graph) (loss tf.Output, w *tf.Variable) {
+	t.Helper()
+	x := g.Const(tf.FromFloat32s(tf.Shape{4, 2}, []float32{
+		1, 0,
+		0, 1,
+		1, 1,
+		2, 1,
+	}))
+	y := g.Const(tf.FromFloat32s(tf.Shape{4, 1}, []float32{2, -3, -1, 1}))
+	w = g.NewVariableFromTensor("w", tf.NewTensor(tf.Float32, tf.Shape{2, 1}))
+	pred := g.MatMul(x, w.Value())
+	loss = g.Mean(g.Square(g.Sub(pred, y)), nil, false)
+	return loss, w
+}
+
+func trainToConvergence(t *testing.T, opt train.Optimizer, steps int, wantLoss float64) {
+	t.Helper()
+	g := tf.NewGraph()
+	loss, w := quadratic(t, g)
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < steps; i++ {
+		out, err := sess.Run(nil, []tf.Output{loss}, trainOp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = out[0].FloatAt(0)
+	}
+	if last > wantLoss {
+		t.Errorf("%T: loss after %d steps = %g, want <= %g", opt, steps, last, wantLoss)
+	}
+	wv, err := sess.Fetch1(nil, w.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wv.FloatAt(0)-2) > 0.2 || math.Abs(wv.FloatAt(1)+3) > 0.2 {
+		t.Errorf("%T: learned w = (%g, %g), want (2, -3)", opt, wv.FloatAt(0), wv.FloatAt(1))
+	}
+}
+
+func TestGradientDescentConverges(t *testing.T) {
+	trainToConvergence(t, &train.GradientDescent{LearningRate: 0.1}, 400, 1e-4)
+}
+
+func TestMomentumConverges(t *testing.T) {
+	trainToConvergence(t, &train.Momentum{LearningRate: 0.02, Decay: 0.9}, 400, 1e-4)
+}
+
+func TestAdagradConverges(t *testing.T) {
+	trainToConvergence(t, &train.Adagrad{LearningRate: 0.5}, 600, 1e-3)
+}
+
+func TestRMSPropConverges(t *testing.T) {
+	trainToConvergence(t, &train.RMSProp{LearningRate: 0.05, Decay: 0.9}, 900, 5e-3)
+}
+
+func TestAdadeltaConverges(t *testing.T) {
+	trainToConvergence(t, &train.Adadelta{LearningRate: 1, Rho: 0.95}, 3000, 0.02)
+}
+
+func TestAdamConverges(t *testing.T) {
+	trainToConvergence(t, &train.Adam{LearningRate: 0.1}, 500, 1e-3)
+}
+
+func TestSGDSparseUpdatesOnlyTouchGatheredRows(t *testing.T) {
+	g := tf.NewGraph()
+	emb := g.NewVariableFromTensor("emb", tf.FromFloat32s(tf.Shape{4, 2}, []float32{
+		1, 1, 2, 2, 3, 3, 4, 4,
+	}))
+	idx := g.Const([]int32{1})
+	rows := g.Gather(emb.Value(), idx)
+	loss := g.Sum(rows, nil, false) // d/d emb[1] = 1
+	opt := &train.GradientDescent{LearningRate: 0.5}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{emb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(trainOp); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Fetch1(nil, emb.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 1, 1.5, 1.5, 3, 3, 4, 4} // only row 1 moved
+	for i, v := range out.Float32s() {
+		if v != want[i] {
+			t.Fatalf("after sparse SGD emb = %v, want %v", out.Float32s(), want)
+		}
+	}
+}
+
+func TestAdagradSparseAccumulatorStaysSparse(t *testing.T) {
+	g := tf.NewGraph()
+	emb := g.NewVariableFromTensor("emb", tf.FromFloat32s(tf.Shape{3, 1}, []float32{1, 1, 1}))
+	idx := g.Const([]int32{2})
+	loss := g.Sum(g.Gather(emb.Value(), idx), nil, false)
+	opt := &train.Adagrad{LearningRate: 1, InitialAccum: 0.0001}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{emb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(trainOp); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Fetch1(nil, emb.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FloatAt(0) != 1 || out.FloatAt(1) != 1 {
+		t.Errorf("untouched rows moved: %v", out.Float32s())
+	}
+	if out.FloatAt(2) >= 1 {
+		t.Errorf("gathered row did not move: %v", out.Float32s())
+	}
+}
+
+func TestClipByGlobalNorm(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.NewVariableFromTensor("x", tf.FromFloat32s(tf.Shape{2}, []float32{3, 4}))
+	loss := g.Mul(g.Const(float32(100)), g.Sum(g.Square(x.Value()), nil, false))
+	grads, err := g.Gradients([]tf.Output{loss}, []tf.Output{x.Value()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped, err := train.ClipByGlobalNorm(g, grads, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Fetch1(nil, clipped[0].Dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := math.Hypot(out.FloatAt(0), out.FloatAt(1))
+	if math.Abs(norm-1) > 1e-4 {
+		t.Errorf("clipped norm = %g, want 1", norm)
+	}
+	// Direction preserved: grad ∝ (3, 4).
+	if math.Abs(out.FloatAt(0)/out.FloatAt(1)-0.75) > 1e-4 {
+		t.Errorf("clip changed direction: %v", out.Float32s())
+	}
+}
+
+func TestSaverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := tf.NewGraph()
+	a := g.NewVariableFromTensor("a", tf.FromFloat32s(tf.Shape{2}, []float32{1, 2}))
+	b := g.NewVariableFromTensor("b", tf.Scalar(7))
+	saver, err := train.NewSaver(g, []*tf.Variable{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "model.ckpt")
+	if err := saver.Save(sess, path); err != nil {
+		t.Fatal(err)
+	}
+	// Clobber, then restore.
+	if err := sess.RunTargets(a.Assign(g.Const([]float32{9, 9}))); err != nil {
+		t.Fatal(err)
+	}
+	if err := saver.Restore(sess, path); err != nil {
+		t.Fatal(err)
+	}
+	av, err := sess.Fetch1(nil, a.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if av.FloatAt(0) != 1 || av.FloatAt(1) != 2 {
+		t.Errorf("restored a = %v", av)
+	}
+}
+
+func TestSaverRetentionAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "ckpt")
+	g := tf.NewGraph()
+	v := g.NewVariableFromTensor("v", tf.Scalar(0))
+	saver, err := train.NewSaver(g, []*tf.Variable{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saver.KeepCheckpoints = 2
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 5; step++ {
+		if err := sess.RunTargets(v.Assign(g.Const(float32(step)))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := saver.SaveStep(sess, prefix, step); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := filepath.Glob(prefix + "-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("retention kept %d checkpoints, want 2: %v", len(files), files)
+	}
+	// Fresh session ("restart after failure", §4.3) restores the latest.
+	sess2, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := saver.RestoreLatest(sess2, prefix)
+	if err != nil || !found {
+		t.Fatalf("RestoreLatest: found=%t err=%v", found, err)
+	}
+	vv, err := sess2.Fetch1(nil, v.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vv.FloatAt(0) != 5 {
+		t.Errorf("restored v = %v, want 5", vv)
+	}
+	// Missing prefix reports not found without error.
+	found, err = saver.RestoreLatest(sess2, filepath.Join(dir, "nope"))
+	if err != nil || found {
+		t.Errorf("missing checkpoint: found=%t err=%v", found, err)
+	}
+}
+
+func TestSaverSupportsFineTuningAcrossGraphs(t *testing.T) {
+	// Transfer learning (§4.3): train a "base" variable in one graph,
+	// restore it into a different graph that adds a new head.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pretrained.ckpt")
+	{
+		g := tf.NewGraph()
+		base := g.NewVariableFromTensor("base", tf.FromFloat32s(tf.Shape{2}, []float32{5, 6}))
+		saver, err := train.NewSaver(g, []*tf.Variable{base})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := tf.NewSession(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.RunTargets(g.InitOp()); err != nil {
+			t.Fatal(err)
+		}
+		if err := saver.Save(sess, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2 := tf.NewGraph()
+	base := g2.NewVariableFromTensor("base", tf.FromFloat32s(tf.Shape{2}, []float32{0, 0}))
+	head := g2.NewVariableFromTensor("head", tf.Scalar(1))
+	saver2, err := train.NewSaver(g2, []*tf.Variable{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := tf.NewSession(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.RunTargets(g2.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := saver2.Restore(sess2, path); err != nil {
+		t.Fatal(err)
+	}
+	bv, err := sess2.Fetch1(nil, base.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bv.FloatAt(0) != 5 || bv.FloatAt(1) != 6 {
+		t.Errorf("fine-tune restore = %v", bv)
+	}
+	hv, err := sess2.Fetch1(nil, head.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.FloatAt(0) != 1 {
+		t.Errorf("head variable clobbered: %v", hv)
+	}
+}
+
+func TestQueueRunnerFillsPipeline(t *testing.T) {
+	g := tf.NewGraph()
+	q := g.FIFOQueue("input", 8, []tf.DType{tf.Float32}, []tf.Shape{{}})
+	counter := g.NewVariableFromTensor("counter", tf.Scalar(0))
+	next := counter.AssignAdd(g.Const(float32(1)))
+	enq := q.Enqueue(next.Output(0))
+	deq := q.Dequeue()
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	coord := train.NewCoordinator()
+	qr := train.NewQueueRunner(q, enq)
+	qr.Start(sess, coord)
+
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		out, err := sess.Fetch1(nil, deq[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[out.FloatAt(0)] = true
+	}
+	coord.RequestStop(nil)
+	if err := coord.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 20 {
+		t.Errorf("dequeued %d distinct values, want 20", len(seen))
+	}
+}
+
+func TestSyncReplicasAveragesGradients(t *testing.T) {
+	testSyncReplicas(t, 4, 0)
+}
+
+func TestSyncReplicasWithBackupWorkersDiscardsStale(t *testing.T) {
+	testSyncReplicas(t, 3, 2)
+}
+
+func testSyncReplicas(t *testing.T, numWorkers, numBackup int) {
+	t.Helper()
+	g := tf.NewGraph()
+	w := g.NewVariableFromTensor("w", tf.Scalar(0))
+	// Each worker computes gradient d/dw (w - target)² = 2(w - target)
+	// for its own fed target; the synchronous mean drives w toward the
+	// mean target.
+	target := g.Placeholder("target", tf.Float32, tf.Shape{})
+	grad := g.Mul(g.Const(float32(2)), g.Sub(w.Value(), target))
+	sr, err := train.NewSyncReplicas(g, &train.GradientDescent{LearningRate: 0.25},
+		[]tf.Gradient{{Dense: grad}}, []*tf.Variable{w}, numWorkers, numBackup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.PrimeTokens(sess); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 30
+	total := numWorkers + numBackup
+	var wg sync.WaitGroup
+	errs := make(chan error, total)
+	for wi := 0; wi < total; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			// All workers pull toward the same target: token handoff
+			// does not promise round-robin participation (the paper
+			// leans on random batches making duplicates benign, §4.4),
+			// so per-worker targets would not average deterministically.
+			for r := 0; r < rounds; r++ {
+				err := sr.WorkerStep(sess, map[tf.Output]*tf.Tensor{target: tf.Scalar(4)})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(wi)
+	}
+	chiefErr := make(chan error, 1)
+	go func() {
+		for r := 0; r < rounds; r++ {
+			if err := sr.ChiefStep(sess); err != nil {
+				chiefErr <- err
+				return
+			}
+		}
+		chiefErr <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := <-chiefErr; err != nil {
+		t.Fatal(err)
+	}
+	stepT, err := sess.Fetch1(nil, sr.GlobalStep().Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepT.IntAt(0) != rounds {
+		t.Errorf("global step = %v, want %d", stepT, rounds)
+	}
+	wv, err := sess.Fetch1(nil, w.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wv.FloatAt(0)-4) > 0.05 {
+		t.Errorf("after sync training w = %g, want ≈ 4", wv.FloatAt(0))
+	}
+}
+
+func TestSyncReplicasAggregationIsExactMean(t *testing.T) {
+	// Deterministic version: enqueue the four workers' gradients
+	// sequentially, run one chief step, and check the applied update is
+	// exactly the mean (Figure 4b: updates accumulate in a queue and are
+	// applied atomically).
+	g := tf.NewGraph()
+	w := g.NewVariableFromTensor("w", tf.Scalar(10))
+	gradIn := g.Placeholder("grad_in", tf.Float32, tf.Shape{})
+	sr, err := train.NewSyncReplicas(g, &train.GradientDescent{LearningRate: 1},
+		[]tf.Gradient{{Dense: gradIn}}, []*tf.Variable{w}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.PrimeTokens(sess); err != nil {
+		t.Fatal(err)
+	}
+	for _, gv := range []float32{1, 2, 3, 6} { // mean 3
+		if err := sr.WorkerStep(sess, map[tf.Output]*tf.Tensor{gradIn: tf.Scalar(gv)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sr.ChiefStep(sess); err != nil {
+		t.Fatal(err)
+	}
+	wv, err := sess.Fetch1(nil, w.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wv.FloatAt(0) != 7 { // 10 − 1·mean(1,2,3,6) = 7
+		t.Errorf("after one aggregated step w = %g, want 7", wv.FloatAt(0))
+	}
+}
+
+func TestCoordinatorCollectsFirstError(t *testing.T) {
+	c := train.NewCoordinator()
+	c.Go(func() error { return os.ErrNotExist })
+	c.Go(func() error { <-c.StopChan(); return nil })
+	if err := c.Join(); err != os.ErrNotExist {
+		t.Errorf("Join = %v, want ErrNotExist", err)
+	}
+	if !c.ShouldStop() {
+		t.Error("coordinator should report stopped")
+	}
+}
