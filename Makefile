@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+# Tier-1 gate: everything must vet, build, and test green.
+ci: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

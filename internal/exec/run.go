@@ -233,7 +233,17 @@ func (s *step) start() {
 	// roots are still being enqueued.
 	s.outstanding.Add(1)
 	for _, r := range s.ex.roots {
-		s.enqueue(workItem{node: r, frame: s.rootFrame, iter: 0})
+		w := workItem{node: r, frame: s.rootFrame, iter: 0}
+		// An Enter becomes a root when its only input is fed (a placeholder
+		// captured into a loop). It must still execute in its child frame —
+		// the re-addressing deliverData would have applied — or its outputs
+		// and loop-invariant constants land in the root frame and the loop
+		// deadlocks.
+		if en := s.ex.nodes[r]; en.isEnter && s.ex.hasCtrlFlow {
+			w.frame = s.childFrame(s.rootFrame, 0, en.enterFrame)
+			s.state(w.frame, 0, r, true)
+		}
+		s.enqueue(w)
 	}
 	s.finish(1)
 }

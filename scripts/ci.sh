@@ -1,0 +1,5 @@
+#!/bin/sh
+# Tier-1 CI gate. The gate itself is defined once, in the Makefile.
+set -eu
+cd "$(dirname "$0")/.."
+exec make ci

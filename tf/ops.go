@@ -1,10 +1,8 @@
 package tf
 
 import (
-	"fmt"
-
+	"repro/internal/build"
 	"repro/internal/graph"
-	"repro/internal/tensor"
 )
 
 // op adds a node returning its first output, wrapped.
@@ -26,63 +24,16 @@ func (gr *Graph) opNode(opType, name string, attrs map[string]any, ins ...Output
 	return &Operation{n: n, g: gr}
 }
 
-// Const embeds a constant tensor. Accepted values: *Tensor, float32,
-// float64, int, int32, int64, bool, string, []float32, []int32, []int64,
-// [][]float32.
+// Const embeds a constant tensor. Accepted values: *Tensor, scalars (bool,
+// int, int32, int64, float32, float64, string), flat slices of those, and
+// [][]float32 matrices — everything build.ToTensor converts.
 func (gr *Graph) Const(value any) Output {
-	t, err := toTensor(value)
+	t, err := build.ToTensor(value)
 	if err != nil {
 		gr.b.Fail(err)
 		return Output{}
 	}
 	return gr.op("Const", map[string]any{"value": t, "dtype": t.DType()})
-}
-
-func toTensor(value any) (*Tensor, error) {
-	switch v := value.(type) {
-	case *Tensor:
-		return v, nil
-	case float32:
-		return Scalar(v), nil
-	case float64:
-		return tensor.ScalarOf(Float64, v), nil
-	case int:
-		return ScalarInt(int32(v)), nil
-	case int32:
-		return ScalarInt(v), nil
-	case int64:
-		return tensor.ScalarOf(Int64, float64(v)), nil
-	case bool:
-		return ScalarBool(v), nil
-	case string:
-		return ScalarString(v), nil
-	case []float32:
-		return FromFloat32s(Shape{len(v)}, v), nil
-	case []float64:
-		return FromFloat64s(Shape{len(v)}, v), nil
-	case []int32:
-		return FromInt32s(Shape{len(v)}, v), nil
-	case []int64:
-		return FromInt64s(Shape{len(v)}, v), nil
-	case []string:
-		return FromStrings(Shape{len(v)}, v), nil
-	case [][]float32:
-		rows := len(v)
-		if rows == 0 {
-			return FromFloat32s(Shape{0, 0}, nil), nil
-		}
-		cols := len(v[0])
-		flat := make([]float32, 0, rows*cols)
-		for _, row := range v {
-			if len(row) != cols {
-				return nil, fmt.Errorf("tf: ragged [][]float32 constant")
-			}
-			flat = append(flat, row...)
-		}
-		return FromFloat32s(Shape{rows, cols}, flat), nil
-	default:
-		return nil, fmt.Errorf("tf: cannot convert %T to a tensor", value)
-	}
 }
 
 // Placeholder declares a value that must be fed at Run time (§3.2).

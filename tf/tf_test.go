@@ -313,6 +313,51 @@ func TestNestedWhileLoops(t *testing.T) {
 	}
 }
 
+func TestWhileLoopWithFedPlaceholderCapture(t *testing.T) {
+	// Regression: a placeholder captured into the loop frame makes its
+	// Enter a root of the compiled step (its only input is fed); the
+	// executor must still run that Enter in the child frame or the loop
+	// deadlocks and the Exit is never produced.
+	g := tf.NewGraph()
+	limit := g.Placeholder("limit", tf.Float32, tf.Shape{})
+	step := g.Placeholder("step", tf.Float32, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(float32(0)), g.Const(float32(0))}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], limit) },
+		func(vars, _ []tf.Output) []tf.Output {
+			i := g.Add(vars[0], step) // fed value used in the body too
+			return []tf.Output{i, g.Add(vars[1], i)}
+		},
+	)
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	// sum of 1..10: both feeds cross into the frame via constant Enters.
+	out, err := s.Run(map[tf.Output]*tf.Tensor{
+		limit: tf.Scalar(10),
+		step:  tf.Scalar(1),
+	}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].FloatAt(0) != 10 || out[1].FloatAt(0) != 55 {
+		t.Errorf("loop results = %v, %v; want 10, 55", out[0], out[1])
+	}
+	// Re-run with different feeds: the cached executable must not pin the
+	// first step's captured values.
+	out, err = s.Run(map[tf.Output]*tf.Tensor{
+		limit: tf.Scalar(6),
+		step:  tf.Scalar(2),
+	}, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].FloatAt(0) != 6 || out[1].FloatAt(0) != 12 {
+		t.Errorf("second run results = %v, %v; want 6, 12", out[0], out[1])
+	}
+}
+
 func TestQueueRoundTripThroughGraph(t *testing.T) {
 	g := tf.NewGraph()
 	q := g.FIFOQueue("q", 10, []tf.DType{tf.Float32}, []tf.Shape{{2}})
