@@ -1,9 +1,19 @@
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci vet build test race bench
+.PHONY: ci fmt vet build test race race-hot bench
 
-# Tier-1 gate: everything must vet, build, and test green.
-ci: vet build test
+# Tier-1 gate: everything must be gofmt-clean, vet, build, and test
+# green, and the concurrency-heavy packages must pass under the race
+# detector.
+ci: fmt vet build test race-hot
+
+# Fail if any tracked Go file is not gofmt-formatted.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +26,12 @@ test:
 
 race:
 	$(GO) test -race -count=1 ./...
+
+# The executor and the distributed runtime are where concurrent steps,
+# rendezvous and abort paths interleave; they run race-enabled on every
+# CI pass (full -race stays available as `make race`).
+race-hot:
+	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

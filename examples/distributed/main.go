@@ -1,8 +1,12 @@
 // Distributed training: an in-process cluster of 2 PS tasks and 3 workers
-// trains a shared linear model asynchronously (§3.3, Figure 4a). The
-// parameters live on the PS tasks; each worker runs its own client loop,
-// reading the current parameters, computing gradients on its own batches,
-// and applying AssignSub updates — the specialized write of the
+// trains a shared linear model asynchronously (§3.3, Figure 4a). The graph
+// is built entirely through the public tf API: WithDevice scopes pin the
+// parameters to the PS tasks and each worker's compute subgraph to its own
+// task — the `with tf.device(...)` ergonomics of the reference client — and
+// the master resolves the partial constraints, partitions the graph at the
+// device cuts, and inserts Send/Recv pairs. Each worker runs its own client
+// loop, reading the current parameters, computing gradients on its own
+// batches, and applying AssignSub updates — the specialized write of the
 // parameter-server architecture (§2.2) expressed as plain dataflow. A PS
 // task is then restarted mid-training to show the failure model of §4.3.
 package main
@@ -15,6 +19,7 @@ import (
 	"repro/internal/distributed"
 	"repro/internal/graph"
 	"repro/internal/tensor"
+	"repro/tf"
 	"repro/tf/nn"
 )
 
@@ -35,81 +40,48 @@ func main() {
 
 	// One shared graph describes parameters (on the PS tasks) and each
 	// worker's compute subgraph; the master places and partitions it
-	// (§3.3).
-	g := graph.New()
-	w := mustNode(g, "Variable", nil, graph.NodeArgs{
-		Name:   "w",
-		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{features, 1}},
-		Device: "/job:ps/task:0",
-	})
-	b := mustNode(g, "Variable", nil, graph.NodeArgs{
-		Name:   "b",
-		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
-		Device: "/job:ps/task:1",
-	})
-	wInit := mustNode(g, "Const", nil, graph.NodeArgs{
-		Name: "w_init", Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{features, 1})},
-	})
-	bInit := mustNode(g, "Const", nil, graph.NodeArgs{
-		Name: "b_init", Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{1})},
-	})
-	initW := mustNode(g, "Assign", []graph.Endpoint{w.Out(0), wInit.Out(0)}, graph.NodeArgs{Name: "init_w"})
-	initB := mustNode(g, "Assign", []graph.Endpoint{b.Out(0), bInit.Out(0)}, graph.NodeArgs{Name: "init_b"})
+	// (§3.3). Device scopes carry the placement constraints.
+	g := tf.NewGraph()
+	w := g.WithDevice("/job:ps/task:0").NewVariableFromTensor("w", tf.NewTensor(tf.Float32, tf.Shape{features, 1}))
+	b := g.WithDevice("/job:ps/task:1").NewVariableFromTensor("b", tf.NewTensor(tf.Float32, tf.Shape{1}))
 
 	// Per-worker training subgraphs: compute on the worker, update on the
 	// PS (§3.3: "parameters are distributed among a set of PS tasks").
 	type workerGraph struct {
-		x, y    graph.Endpoint
+		x, y    tf.Output
 		update  []*graph.Node
-		lossOut graph.Endpoint
+		lossOut tf.Output
 	}
 	wgs := make([]workerGraph, workers)
 	for wi := 0; wi < workers; wi++ {
-		dev := distributed.TaskName("worker", wi)
-		suffix := fmt.Sprintf("_%d", wi)
-		x := mustNode(g, "Placeholder", nil, graph.NodeArgs{
-			Name: "x" + suffix, Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{batch, features}},
-		})
-		y := mustNode(g, "Placeholder", nil, graph.NodeArgs{
-			Name: "y" + suffix, Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{batch, 1}},
-		})
-		readW := mustNode(g, "Read", []graph.Endpoint{w.Out(0)}, graph.NodeArgs{Name: "read_w" + suffix})
-		readB := mustNode(g, "Read", []graph.Endpoint{b.Out(0)}, graph.NodeArgs{Name: "read_b" + suffix})
-		pred := mustNode(g, "Add", []graph.Endpoint{
-			mustNode(g, "MatMul", []graph.Endpoint{x.Out(0), readW.Out(0)}, graph.NodeArgs{Name: "mm" + suffix, Device: dev}).Out(0),
-			readB.Out(0),
-		}, graph.NodeArgs{Name: "pred" + suffix, Device: dev})
-		diff := mustNode(g, "Sub", []graph.Endpoint{pred.Out(0), y.Out(0)}, graph.NodeArgs{Name: "diff" + suffix, Device: dev})
-		loss := mustNode(g, "Mean", []graph.Endpoint{
-			mustNode(g, "Square", []graph.Endpoint{diff.Out(0)}, graph.NodeArgs{Name: "sq" + suffix, Device: dev}).Out(0),
-		}, graph.NodeArgs{Name: "loss" + suffix, Device: dev})
+		// Scope the worker's nodes by name and pin them to its task.
+		wg := g.WithScope(fmt.Sprintf("worker%d", wi)).WithDevice(distributed.TaskName("worker", wi))
+		x := wg.Placeholder("x", tf.Float32, tf.Shape{batch, features})
+		y := wg.Placeholder("y", tf.Float32, tf.Shape{batch, 1})
+		pred := wg.Add(wg.MatMul(x, w.Value()), b.Value())
+		diff := wg.Sub(pred, y)
+		loss := wg.Mean(wg.Square(diff), nil, false)
 
-		// Manual gradients of MSE: dW = 2/B·xᵀdiff, db = 2/B·Σdiff.
-		scale := mustNode(g, "Const", nil, graph.NodeArgs{
-			Name: "scale" + suffix, Attrs: map[string]any{"value": tensor.Scalar(2 * lr / batch)},
-		})
-		gradW := mustNode(g, "MatMul", []graph.Endpoint{x.Out(0), diff.Out(0)}, graph.NodeArgs{
-			Name: "gw" + suffix, Attrs: map[string]any{"transpose_a": true}, Device: dev,
-		})
-		stepW := mustNode(g, "Mul", []graph.Endpoint{gradW.Out(0), scale.Out(0)}, graph.NodeArgs{Name: "sw" + suffix, Device: dev})
-		gradB := mustNode(g, "Sum", []graph.Endpoint{diff.Out(0)}, graph.NodeArgs{
-			Name: "gb" + suffix, Attrs: map[string]any{"reduction_indices": []int{0}}, Device: dev,
-		})
-		stepB := mustNode(g, "Mul", []graph.Endpoint{gradB.Out(0), scale.Out(0)}, graph.NodeArgs{Name: "sb" + suffix, Device: dev})
-		upW := mustNode(g, "AssignSub", []graph.Endpoint{w.Out(0), stepW.Out(0)}, graph.NodeArgs{Name: "upw" + suffix})
-		upB := mustNode(g, "AssignSub", []graph.Endpoint{b.Out(0), stepB.Out(0)}, graph.NodeArgs{Name: "upb" + suffix})
+		// Manual gradients of MSE: dW = 2/B·xᵀdiff, db = 2/B·Σdiff. The
+		// update ops colocate with their variable (reference edges), so
+		// the scaled gradients cross to the PS tasks through Send/Recv.
+		scale := wg.Const(float32(2 * lr / batch))
+		stepW := wg.Mul(wg.MatMulT(x, diff, true, false), scale)
+		stepB := wg.Mul(wg.Sum(diff, []int{0}, false), scale)
 		wgs[wi] = workerGraph{
-			x: x.Out(0), y: y.Out(0),
-			update:  []*graph.Node{upW, upB},
-			lossOut: loss.Out(0),
+			x: x, y: y,
+			update:  []*graph.Node{w.AssignSub(stepW).Node(), b.AssignSub(stepB).Node()},
+			lossOut: loss,
 		}
 	}
+	initOp := g.InitOp()
+	g.Must()
 
-	master, err := distributed.NewMaster(g, spec, cluster.Resolver(), distributed.MasterOptions{})
+	master, err := distributed.NewMaster(g.Raw(), spec, cluster.Resolver(), distributed.MasterOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := master.Run(nil, nil, []*graph.Node{initW, initB}); err != nil {
+	if _, err := master.Run(nil, nil, []*graph.Node{initOp.Node()}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -123,8 +95,8 @@ func main() {
 			defer wg.Done()
 			for s := 0; s < steps; s++ {
 				xs, ys := nn.LinearData(int64(wi*1000+s), batch, features, wTrue, 0.5, 0.01)
-				feeds := map[graph.Endpoint]*tensor.Tensor{wgs[wi].x: xs, wgs[wi].y: ys}
-				out, err := master.Run(feeds, []graph.Endpoint{wgs[wi].lossOut}, wgs[wi].update)
+				feeds := map[graph.Endpoint]*tensor.Tensor{wgs[wi].x.Unwrap(): xs, wgs[wi].y.Unwrap(): ys}
+				out, err := master.Run(feeds, []graph.Endpoint{wgs[wi].lossOut.Unwrap()}, wgs[wi].update)
 				if err != nil {
 					log.Fatalf("worker %d: %v", wi, err)
 				}
@@ -136,9 +108,8 @@ func main() {
 	}
 	wg.Wait()
 
-	readW := mustNode(g, "Read", []graph.Endpoint{w.Out(0)}, graph.NodeArgs{Name: "final_w"})
-	readB := mustNode(g, "Read", []graph.Endpoint{b.Out(0)}, graph.NodeArgs{Name: "final_b"})
-	out, err := master.Run(nil, []graph.Endpoint{readW.Out(0), readB.Out(0)}, nil)
+	readW, readB := w.Value().Unwrap(), b.Value().Unwrap()
+	out, err := master.Run(nil, []graph.Endpoint{readW, readB}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,27 +121,21 @@ func main() {
 	// checkpoint instead).
 	fmt.Println("restarting /job:ps/task:0 …")
 	cluster.Workers["/job:ps/task:0"].Reset()
-	if _, err := master.Run(nil, []graph.Endpoint{readW.Out(0)}, nil); err != nil {
+	if _, err := master.Run(nil, []graph.Endpoint{readW}, nil); err != nil {
 		fmt.Printf("read after restart fails as expected: %v\n", err)
 	}
-	m2, err := distributed.NewMaster(g, spec, cluster.Resolver(), distributed.MasterOptions{})
+	m2, err := distributed.NewMaster(g.Raw(), spec, cluster.Resolver(), distributed.MasterOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := m2.Run(nil, nil, []*graph.Node{initW}); err != nil {
+	// Only the lost shard is re-initialized; b's trained value on the
+	// healthy /job:ps/task:1 survives the failure.
+	if _, err := m2.Run(nil, nil, []*graph.Node{w.Initializer().Node()}); err != nil {
 		log.Fatal(err)
 	}
-	out, err = m2.Run(nil, []graph.Endpoint{readW.Out(0)}, nil)
+	out, err = m2.Run(nil, []graph.Endpoint{readW}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("recovered: w re-initialized to (%.1f, %.1f)\n", out[0].FloatAt(0), out[0].FloatAt(1))
-}
-
-func mustNode(g *graph.Graph, op string, ins []graph.Endpoint, args graph.NodeArgs) *graph.Node {
-	n, err := g.AddNode(op, ins, args)
-	if err != nil {
-		log.Fatalf("AddNode(%s): %v", op, err)
-	}
-	return n
 }

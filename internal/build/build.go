@@ -23,11 +23,20 @@
 //     Control-flow contexts (tf.While) use them to capture outer-frame
 //     values through Enter nodes, and autodiff uses the same machinery to
 //     remap inputs when splicing gradient subgraphs.
+//
+//   - Device and colocation scoping (§3.3). WithDevice derives a view that
+//     stamps every emitted node with a (possibly partial) device
+//     constraint, nested scopes refining outer ones the way the paper's
+//     placement constraints compose ("any device in a particular task"
+//     refines to a concrete device). ColocateWith records explicit
+//     colocation-group hints the placer honors alongside reference-edge
+//     colocation. Both compose freely with WithScope.
 package build
 
 import (
 	"fmt"
 
+	"repro/internal/device"
 	"repro/internal/graph"
 	"repro/internal/tensor"
 )
@@ -53,11 +62,16 @@ type state struct {
 type B struct {
 	st    *state
 	scope string
+	// dev is the device constraint of this view; every node the view emits
+	// is stamped with it (§3.3).
+	dev device.Spec
+	// colocate lists the node names this view's nodes must be placed with.
+	colocate []string
 }
 
 // New creates a builder targeting g.
 func New(g *graph.Graph) *B {
-	return &B{st: &state{g: g}}
+	return &B{st: &state{g: g}, dev: device.Unconstrained()}
 }
 
 // Graph returns the graph under construction.
@@ -78,6 +92,50 @@ func (b *B) WithScope(scope string) *B {
 
 // Scope returns the builder's current name-scope prefix ("" at top level).
 func (b *B) Scope() string { return b.scope }
+
+// WithDevice returns a view of the same builder that stamps every emitted
+// node with the given (possibly partial) device constraint. Nested scopes
+// refine outer ones field by field, the inner scope winning where both
+// constrain the same field:
+//
+//	b.WithDevice("/job:ps").WithDevice("/task:1/device:CPU:0")
+//
+// emits nodes constrained to "/job:ps/task:1/device:CPU:0". An empty spec
+// clears the scope, so b.WithDevice("") emits unconstrained nodes under any
+// nesting. A malformed spec records a construction error.
+func (b *B) WithDevice(spec string) *B {
+	child := *b
+	if spec == "" {
+		child.dev = device.Unconstrained()
+		return &child
+	}
+	parsed, err := device.ParseSpec(spec)
+	if err != nil {
+		b.Fail(fmt.Errorf("build: WithDevice(%q): %w", spec, err))
+		return &child
+	}
+	child.dev = child.dev.Override(parsed)
+	return &child
+}
+
+// Device returns the view's device constraint as a canonical string ("" when
+// unconstrained).
+func (b *B) Device() string { return b.dev.String() }
+
+// ColocateWith returns a view of the same builder that records, on every
+// emitted node, a colocation hint naming n: the placer unions the node into
+// n's colocation group exactly as if they shared a reference edge (§3.3).
+// Hints accumulate across nested calls. A nil n (e.g. from an earlier failed
+// call) records a construction error.
+func (b *B) ColocateWith(n *graph.Node) *B {
+	child := *b
+	if n == nil {
+		b.Fail(fmt.Errorf("build: ColocateWith given a nil node"))
+		return &child
+	}
+	child.colocate = append(append([]string(nil), b.colocate...), n.Name())
+	return &child
+}
 
 // Err returns the first construction error recorded by any call on this
 // builder (or any scoped view of it), or nil.
@@ -142,7 +200,23 @@ func (b *B) Node(opType string, inputs []graph.Endpoint, name string, attrs map[
 	if b.scope != "" {
 		name = b.scope + "/" + name
 	}
-	n, err := b.st.g.AddNode(opType, ins, graph.NodeArgs{Name: name, Attrs: attrs, Control: control})
+	if len(b.colocate) > 0 {
+		// Stamp colocation hints without mutating the caller's attr map;
+		// hints already present (e.g. copied from another node) are kept.
+		merged := make(map[string]any, len(attrs)+1)
+		for k, v := range attrs {
+			merged[k] = v
+		}
+		hints := b.colocate
+		if prev, ok := merged[graph.ColocationAttr].([]string); ok {
+			hints = append(append([]string(nil), prev...), hints...)
+		}
+		merged[graph.ColocationAttr] = hints
+		attrs = merged
+	}
+	n, err := b.st.g.AddNode(opType, ins, graph.NodeArgs{
+		Name: name, Attrs: attrs, Device: b.dev.String(), Control: control,
+	})
 	if err != nil {
 		b.Fail(err)
 		return nil

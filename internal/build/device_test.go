@@ -1,0 +1,115 @@
+package build
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+
+	_ "repro/internal/ops" // register the standard op set
+)
+
+func TestWithDevicePartialSpecMerging(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+
+	// Outer scope constrains the job; the inner scope refines it to a
+	// concrete device (§3.3: partial specs merge outer-to-inner).
+	ps := b.WithDevice("/job:ps")
+	inner := ps.WithDevice("/device:CPU:0")
+	n := inner.Node("Const", nil, "c", map[string]any{"value": tensor.Scalar(1)})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if got := n.Device(); got != "/job:ps/device:CPU:0" {
+		t.Errorf("merged device = %q, want /job:ps/device:CPU:0", got)
+	}
+	// The outer view is untouched.
+	if got := ps.Device(); got != "/job:ps" {
+		t.Errorf("outer scope device = %q, want /job:ps", got)
+	}
+	// Task refinement: "any device in a particular task" → concrete.
+	task := ps.WithDevice("/task:3")
+	if got := task.Device(); got != "/job:ps/task:3" {
+		t.Errorf("task refinement = %q", got)
+	}
+}
+
+func TestWithDeviceNestedOverride(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+
+	outer := b.WithDevice("/job:ps/task:0")
+	// An inner scope constraining the same field wins.
+	inner := outer.WithDevice("/job:worker")
+	if got := inner.Device(); got != "/job:worker/task:0" {
+		t.Errorf("override device = %q, want /job:worker/task:0", got)
+	}
+	// An empty spec clears the scope entirely.
+	cleared := inner.WithDevice("")
+	if got := cleared.Device(); got != "" {
+		t.Errorf("cleared device = %q, want empty", got)
+	}
+	n := cleared.Node("Const", nil, "c", map[string]any{"value": tensor.Scalar(1)})
+	if n.Device() != "" {
+		t.Errorf("node under cleared scope has device %q", n.Device())
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	// A malformed spec records a construction error.
+	b.WithDevice("/bogus:field")
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "bogus") {
+		t.Errorf("malformed spec error = %v", b.Err())
+	}
+}
+
+func TestWithDeviceComposesWithScope(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+
+	v := b.WithScope("tower0").WithDevice("/job:worker/task:0").WithScope("layer1")
+	n := v.Node("Const", nil, "w", map[string]any{"value": tensor.Scalar(1)})
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if n.Name() != "tower0/layer1/w" {
+		t.Errorf("name = %q", n.Name())
+	}
+	if n.Device() != "/job:worker/task:0" {
+		t.Errorf("device = %q", n.Device())
+	}
+}
+
+func TestColocateWithRecordsHints(t *testing.T) {
+	g := graph.New()
+	b := New(g)
+
+	v := b.Variable("v", tensor.Float32, tensor.Shape{2})
+	w := b.Variable("w", tensor.Float32, tensor.Shape{2})
+	cv := b.ColocateWith(v)
+	n := cv.Node("Const", nil, "slot", map[string]any{"value": tensor.Scalar(0)})
+	if got := n.Colocation(); len(got) != 1 || got[0] != "v" {
+		t.Errorf("colocation hints = %v, want [v]", got)
+	}
+	// Hints accumulate across nested ColocateWith calls.
+	both := cv.ColocateWith(w)
+	n2 := both.Node("Const", nil, "slot2", map[string]any{"value": tensor.Scalar(0)})
+	if got := n2.Colocation(); len(got) != 2 || got[0] != "v" || got[1] != "w" {
+		t.Errorf("nested colocation hints = %v, want [v w]", got)
+	}
+	// The parent view is unaffected.
+	plain := b.Node("Const", nil, "free", map[string]any{"value": tensor.Scalar(0)})
+	if got := plain.Colocation(); got != nil {
+		t.Errorf("unscoped node has hints %v", got)
+	}
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	// A nil target (failed upstream build) records an error.
+	b.ColocateWith(nil)
+	if b.Err() == nil {
+		t.Error("ColocateWith(nil) accepted")
+	}
+}

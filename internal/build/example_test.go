@@ -1,0 +1,61 @@
+package build_test
+
+import (
+	"fmt"
+
+	"repro/internal/build"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+
+	_ "repro/internal/ops" // register the standard op set
+)
+
+// Device scopes stamp every emitted node with a (possibly partial)
+// placement constraint; nested scopes refine outer ones the way §3.3's
+// constraints compose, and the placer later resolves them to concrete
+// devices.
+func ExampleB_WithDevice() {
+	b := build.New(graph.New())
+
+	ps := b.WithDevice("/job:ps")
+	w := ps.WithDevice("/task:0/device:CPU:0").Const(tensor.Scalar(1))
+	biasTask := ps.WithDevice("/task:1")
+	bias := biasTask.Const(tensor.Scalar(2))
+
+	fmt.Println(w.Node.Device())
+	fmt.Println(bias.Node.Device())
+	// Output:
+	// /job:ps/task:0/device:CPU:0
+	// /job:ps/task:1
+}
+
+// Name scopes derive views of the same builder whose nodes are prefixed,
+// keeping subgraphs such as gradients or replicated towers legible in one
+// flat namespace.
+func ExampleB_WithScope() {
+	b := build.New(graph.New())
+
+	grads := b.WithScope("gradients")
+	dW := grads.Node("Const", nil, "dW", map[string]any{"value": tensor.Scalar(0)})
+	nested := grads.WithScope("layer1").Const(tensor.Scalar(0))
+
+	fmt.Println(dW.Name())
+	fmt.Println(nested.Node.Name())
+	// Output:
+	// gradients/dW
+	// gradients/layer1/Const
+}
+
+// Colocation hints pin derived state next to the node it shadows: the
+// placer unions hinted nodes into one group exactly as if they shared a
+// reference edge.
+func ExampleB_ColocateWith() {
+	b := build.New(graph.New())
+
+	v := b.WithDevice("/job:ps/task:3").Variable("params", tensor.Float32, tensor.Shape{8})
+	slot := b.ColocateWith(v).Const(tensor.Scalar(0))
+
+	fmt.Println(slot.Node.Colocation())
+	// Output:
+	// [params]
+}

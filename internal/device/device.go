@@ -116,34 +116,66 @@ func (s Spec) Matches(c Spec) bool {
 	return true
 }
 
-// Merge combines two constraints; it fails if they conflict.
+// Conflict reports the first field on which the two constraints disagree
+// ("job", "task", "type" or "id"), or "" when they are compatible and
+// Merge will succeed. It is the single source of conflict detection, so
+// callers that attribute conflicts (the placer's blame tracking) cannot
+// drift from Merge.
+func (s Spec) Conflict(o Spec) string {
+	switch {
+	case s.Job != "" && o.Job != "" && s.Job != o.Job:
+		return "job"
+	case s.Task >= 0 && o.Task >= 0 && s.Task != o.Task:
+		return "task"
+	case s.Type != "" && o.Type != "" && s.Type != o.Type:
+		return "type"
+	case s.ID >= 0 && o.ID >= 0 && s.ID != o.ID:
+		return "id"
+	}
+	return ""
+}
+
+// Merge combines two constraints; it fails if they conflict. Without a
+// conflict, merging is exactly Override (the union of the constrained
+// fields).
 func (s Spec) Merge(o Spec) (Spec, error) {
+	switch s.Conflict(o) {
+	case "job":
+		return s, fmt.Errorf("device: job %q conflicts with %q", s.Job, o.Job)
+	case "task":
+		return s, fmt.Errorf("device: task %d conflicts with %d", s.Task, o.Task)
+	case "type":
+		return s, fmt.Errorf("device: type %q conflicts with %q", s.Type, o.Type)
+	case "id":
+		return s, fmt.Errorf("device: id %d conflicts with %d", s.ID, o.ID)
+	}
+	return s.Override(o), nil
+}
+
+// Unconstrained returns the spec that matches every device (every field
+// unset). It is the identity of both Merge and Override.
+func Unconstrained() Spec { return Spec{Task: -1, ID: -1} }
+
+// Override refines constraint s with o, with o winning wherever both
+// constrain the same field — the semantics of nested device scopes (§3.3):
+// an outer "/job:ps" scope refined by an inner "/task:1/device:CPU:0" yields
+// "/job:ps/task:1/device:CPU:0", while an inner "/job:worker" replaces the
+// outer job entirely. Unlike Merge, Override cannot fail.
+func (s Spec) Override(o Spec) Spec {
 	out := s
 	if o.Job != "" {
-		if s.Job != "" && s.Job != o.Job {
-			return out, fmt.Errorf("device: job %q conflicts with %q", s.Job, o.Job)
-		}
 		out.Job = o.Job
 	}
 	if o.Task >= 0 {
-		if s.Task >= 0 && s.Task != o.Task {
-			return out, fmt.Errorf("device: task %d conflicts with %d", s.Task, o.Task)
-		}
 		out.Task = o.Task
 	}
 	if o.Type != "" {
-		if s.Type != "" && s.Type != o.Type {
-			return out, fmt.Errorf("device: type %q conflicts with %q", s.Type, o.Type)
-		}
 		out.Type = o.Type
 	}
 	if o.ID >= 0 {
-		if s.ID >= 0 && s.ID != o.ID {
-			return out, fmt.Errorf("device: id %d conflicts with %d", s.ID, o.ID)
-		}
 		out.ID = o.ID
 	}
-	return out, nil
+	return out
 }
 
 // Device is one executable device: a concrete spec plus the resource

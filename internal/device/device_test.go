@@ -85,3 +85,24 @@ func TestResourceManagerReset(t *testing.T) {
 		t.Errorf("VariableNames after reset = %v", m.VariableNames())
 	}
 }
+
+func TestSpecOverride(t *testing.T) {
+	outer, _ := ParseSpec("/job:ps/task:0")
+	// Refinement: fields the inner spec leaves open are inherited.
+	inner, _ := ParseSpec("/device:CPU:0")
+	if got := outer.Override(inner).String(); got != "/job:ps/task:0/device:CPU:0" {
+		t.Errorf("refine = %q", got)
+	}
+	// Conflict: the inner spec wins field by field.
+	repl, _ := ParseSpec("/job:worker")
+	if got := outer.Override(repl).String(); got != "/job:worker/task:0" {
+		t.Errorf("override = %q", got)
+	}
+	// Identity both ways.
+	if got := Unconstrained().Override(outer); got != outer {
+		t.Errorf("unconstrained.Override = %+v", got)
+	}
+	if got := outer.Override(Unconstrained()); got != outer {
+		t.Errorf("Override(unconstrained) = %+v", got)
+	}
+}

@@ -49,8 +49,8 @@ func (ex *Executable) Run(p RunParams) ([]*tensor.Tensor, error) {
 	s := newStep(ex, p)
 	s.start()
 	<-s.done
-	if s.err != nil {
-		return nil, s.err
+	if err := s.stepErr(); err != nil {
+		return nil, err
 	}
 	out := make([]*tensor.Tensor, len(ex.fetches))
 	for i, plan := range ex.fetchPlan {
@@ -149,6 +149,10 @@ type step struct {
 	abort   chan struct{}
 	done    chan struct{}
 	errOnce sync.Once
+	// errMu guards err: an external abort may call fail concurrently with
+	// the step completing normally, so the Run goroutine cannot rely on
+	// the done-channel close to order the write.
+	errMu   sync.Mutex
 	err     error
 	aborted atomic.Bool
 	fetchMu sync.Mutex
@@ -209,10 +213,19 @@ func newStep(ex *Executable, p RunParams) *step {
 
 func (s *step) fail(err error) {
 	s.errOnce.Do(func() {
+		s.errMu.Lock()
 		s.err = err
+		s.errMu.Unlock()
 		s.aborted.Store(true)
 		close(s.abort)
 	})
+}
+
+// stepErr returns the step's recorded failure, if any.
+func (s *step) stepErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
 }
 
 func (s *step) start() {

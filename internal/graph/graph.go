@@ -84,6 +84,19 @@ func (n *Node) Out(i int) Endpoint { return Endpoint{Node: n, Index: i} }
 // OutSpec returns the spec of output i.
 func (n *Node) OutSpec(i int) IOSpec { return n.outSpecs[i] }
 
+// ColocationAttr is the node attribute carrying explicit colocation-group
+// hints (§3.3): a []string of node names this node must be placed with. The
+// build layer writes it (B.ColocateWith) and the placer unions the named
+// groups alongside reference-edge colocation.
+const ColocationAttr = "_colocate"
+
+// Colocation returns the node's explicit colocation hints (node names), or
+// nil.
+func (n *Node) Colocation() []string {
+	v, _ := n.attrs[ColocationAttr].([]string)
+	return v
+}
+
 // Device returns the node's device constraint (may be empty or partial,
 // e.g. "/job:ps/task:1" — §3.3).
 func (n *Node) Device() string { return n.device }

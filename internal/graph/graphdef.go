@@ -30,17 +30,18 @@ type NodeDef struct {
 
 // AttrDef is a tagged attribute value. Exactly one field is set.
 type AttrDef struct {
-	Kind   string // "int","float","bool","string","ints","shape","dtype","tensor","dtypes","shapes"
-	I      int64
-	F      float64
-	B      bool
-	S      string
-	Ints   []int
-	Shape  []int
-	DType  uint8
-	Tensor *tensor.Tensor
-	DTypes []uint8
-	Shapes [][]int
+	Kind    string // "int","float","bool","string","ints","strings","shape","dtype","tensor","dtypes","shapes"
+	I       int64
+	F       float64
+	B       bool
+	S       string
+	Ints    []int
+	Strings []string
+	Shape   []int
+	DType   uint8
+	Tensor  *tensor.Tensor
+	DTypes  []uint8
+	Shapes  [][]int
 }
 
 func encodeAttr(v any) (AttrDef, error) {
@@ -61,6 +62,8 @@ func encodeAttr(v any) (AttrDef, error) {
 		return AttrDef{Kind: "string", S: x}, nil
 	case []int:
 		return AttrDef{Kind: "ints", Ints: x}, nil
+	case []string:
+		return AttrDef{Kind: "strings", Strings: x}, nil
 	case tensor.Shape:
 		return AttrDef{Kind: "shape", Shape: []int(x)}, nil
 	case tensor.DType:
@@ -96,6 +99,8 @@ func (a AttrDef) decode() (any, error) {
 		return a.S, nil
 	case "ints":
 		return a.Ints, nil
+	case "strings":
+		return a.Strings, nil
 	case "shape":
 		return tensor.Shape(a.Shape), nil
 	case "dtype":

@@ -67,26 +67,106 @@ func Place(g *graph.Graph, set graph.NodeSet, devices []device.Spec, defaultDev 
 		}
 	}
 
-	// Merge the device constraints of each group.
-	groupConstraint := map[int]device.Spec{}
+	// Explicit colocation hints (ColocateWith, §3.3). A hinted peer outside
+	// the placed set is not assigned a device — it isn't being placed this
+	// step — but its constraint still binds the group below, and every
+	// in-set node hinting the same peer is unioned (colocation stays
+	// transitive through pruned nodes).
+	type outOfSetPeer struct {
+		node *graph.Node // the hinted node, carrying the constraint
+		via  string      // the in-set node naming it
+	}
+	extraConstraints := map[int][]outOfSetPeer{} // keyed by pre-union node ID
+	peerRep := map[int]int{}                     // out-of-set peer ID -> representative in-set node ID
 	for _, n := range nodes {
 		if !inSet(n) {
 			continue
 		}
-		spec, err := device.ParseSpec(n.Device())
-		if err != nil {
-			return nil, fmt.Errorf("placement: node %s: %w", n.Name(), err)
+		for _, name := range n.Colocation() {
+			peer := g.ByName(name)
+			if peer == nil {
+				return nil, fmt.Errorf("placement: node %q is colocated with unknown node %q", n.Name(), name)
+			}
+			if inSet(peer) {
+				union(n.ID(), peer.ID())
+				continue
+			}
+			if rep, ok := peerRep[peer.ID()]; ok {
+				union(n.ID(), rep)
+			} else {
+				peerRep[peer.ID()] = n.ID()
+				extraConstraints[n.ID()] = append(extraConstraints[n.ID()], outOfSetPeer{node: peer, via: n.Name()})
+			}
 		}
-		root := find(n.ID())
+	}
+
+	// Merge the device constraints of each group, remembering which node
+	// first imposed each field so conflicts blame the actual contributor.
+	type fieldSrc struct{ job, task, typ, id string }
+	groupConstraint := map[int]device.Spec{}
+	groupSize := map[int]int{}
+	groupSrc := map[int]*fieldSrc{}
+	mergeInto := func(root int, nodeName, devStr string) error {
+		spec, err := device.ParseSpec(devStr)
+		if err != nil {
+			return fmt.Errorf("placement: node %q: %w", nodeName, err)
+		}
 		cur, ok := groupConstraint[root]
 		if !ok {
-			cur = device.Spec{Task: -1, ID: -1}
+			cur = device.Unconstrained()
+		}
+		src := groupSrc[root]
+		if src == nil {
+			src = &fieldSrc{}
+			groupSrc[root] = src
 		}
 		merged, err := cur.Merge(spec)
 		if err != nil {
-			return nil, fmt.Errorf("placement: colocation group of %s has conflicting constraints: %w", n.Name(), err)
+			// Name the node that imposed the conflicting field, not
+			// whichever node happened to contribute last.
+			blame := ""
+			switch cur.Conflict(spec) {
+			case "job":
+				blame = src.job
+			case "task":
+				blame = src.task
+			case "type":
+				blame = src.typ
+			case "id":
+				blame = src.id
+			}
+			return fmt.Errorf("placement: cannot place node %q: its device %q conflicts with %q required by colocated node %q: %w",
+				nodeName, devStr, cur.String(), blame, err)
+		}
+		if spec.Job != "" && cur.Job == "" {
+			src.job = nodeName
+		}
+		if spec.Task >= 0 && cur.Task < 0 {
+			src.task = nodeName
+		}
+		if spec.Type != "" && cur.Type == "" {
+			src.typ = nodeName
+		}
+		if spec.ID >= 0 && cur.ID < 0 {
+			src.id = nodeName
 		}
 		groupConstraint[root] = merged
+		return nil
+	}
+	for _, n := range nodes {
+		if !inSet(n) {
+			continue
+		}
+		root := find(n.ID())
+		groupSize[root]++
+		if err := mergeInto(root, n.Name(), n.Device()); err != nil {
+			return nil, err
+		}
+		for _, peer := range extraConstraints[n.ID()] {
+			if err := mergeInto(root, peer.node.Name(), peer.node.Device()); err != nil {
+				return nil, fmt.Errorf("%w (reached via colocation hint of %q)", err, peer.via)
+			}
+		}
 	}
 
 	// Pick a satisfying device per group: the default device when it
@@ -107,8 +187,8 @@ func Place(g *graph.Graph, set graph.NodeSet, devices []device.Spec, defaultDev 
 			}
 		}
 		if chosen == nil {
-			return nil, fmt.Errorf("placement: no device satisfies constraint %q (group of node %s)",
-				constraint.String(), g.Node(root).Name())
+			return nil, fmt.Errorf("placement: no device among %d satisfies constraint %q for node %q (colocation group of %d nodes)",
+				len(devices), constraint.String(), g.Node(root).Name(), groupSize[root])
 		}
 		groupDevice[root] = *chosen
 	}

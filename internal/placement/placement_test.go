@@ -1,6 +1,7 @@
 package placement_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/device"
@@ -150,5 +151,189 @@ func TestDeviceSpecParsing(t *testing.T) {
 	}
 	if _, err := spec.Merge(device.Spec{Job: "other", Task: -1, ID: -1}); err == nil {
 		t.Error("conflicting merge accepted")
+	}
+}
+
+func TestPlaceHonorsColocationHints(t *testing.T) {
+	g := graph.New()
+	v, _ := g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:   "v",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:1",
+	})
+	// An unrelated node hinted onto v's group via ColocateWith lands on
+	// v's device even with no reference edge between them.
+	slot, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name:  "slot",
+		Attrs: map[string]any{"value": tensor.Scalar(0), graph.ColocationAttr: []string{"v"}},
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:ps/task:1/device:CPU:0", "/job:worker/task:0/device:CPU:0")
+	asg, err := placement.Place(g, nil, cluster, cluster[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "/job:ps/task:1/device:CPU:0"
+	if asg[slot.ID()].String() != want {
+		t.Errorf("slot placed on %v, want %s", asg[slot.ID()], want)
+	}
+	if asg[v.ID()].String() != want {
+		t.Errorf("v placed on %v, want %s", asg[v.ID()], want)
+	}
+}
+
+func TestPlaceColocationTransitivity(t *testing.T) {
+	// a ~ b (hint), b ~ c (hint), c pinned: the union-find must carry c's
+	// constraint to all three.
+	g := graph.New()
+	c, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "c", Attrs: map[string]any{"value": tensor.Scalar(1)},
+		Device: "/job:worker/task:1",
+	})
+	b, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "b", Attrs: map[string]any{"value": tensor.Scalar(2), graph.ColocationAttr: []string{"c"}},
+	})
+	a, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "a", Attrs: map[string]any{"value": tensor.Scalar(3), graph.ColocationAttr: []string{"b"}},
+	})
+	cluster := devs(t, "/job:worker/task:0/device:CPU:0", "/job:worker/task:1/device:CPU:0")
+	asg, err := placement.Place(g, nil, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "/job:worker/task:1/device:CPU:0"
+	for _, n := range []*graph.Node{a, b, c} {
+		if asg[n.ID()].String() != want {
+			t.Errorf("%s placed on %v, want %s", n.Name(), asg[n.ID()], want)
+		}
+	}
+}
+
+func TestPlaceOutOfSetColocationPeerConstrains(t *testing.T) {
+	// The hinted peer is outside the placed set (pruned from this step),
+	// but its device constraint still binds the group.
+	g := graph.New()
+	v, _ := g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:   "v",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:1",
+	})
+	slot, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name:  "slot",
+		Attrs: map[string]any{"value": tensor.Scalar(0), graph.ColocationAttr: []string{"v"}},
+	})
+	set := graph.NodeSet{slot.ID(): true} // v not placed this step
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:ps/task:1/device:CPU:0")
+	asg, err := placement.Place(g, set, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg[slot.ID()].String() != "/job:ps/task:1/device:CPU:0" {
+		t.Errorf("slot placed on %v, want v's device", asg[slot.ID()])
+	}
+	if _, placed := asg[v.ID()]; placed {
+		t.Error("out-of-set node was assigned a device")
+	}
+}
+
+func TestPlaceUnknownColocationTarget(t *testing.T) {
+	g := graph.New()
+	g.AddNode("Const", nil, graph.NodeArgs{
+		Name:  "a",
+		Attrs: map[string]any{"value": tensor.Scalar(1), graph.ColocationAttr: []string{"ghost"}},
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0")
+	_, err := placement.Place(g, nil, cluster, cluster[0])
+	if err == nil || !strings.Contains(err.Error(), "ghost") || !strings.Contains(err.Error(), "a") {
+		t.Errorf("error = %v, want mention of node and unknown target", err)
+	}
+}
+
+func TestPlaceConflictErrorNamesBothNodes(t *testing.T) {
+	g := graph.New()
+	g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:   "params",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+		Device: "/job:ps/task:0",
+	})
+	v := g.ByName("params")
+	g.AddNode("Read", []graph.Endpoint{v.Out(0)}, graph.NodeArgs{
+		Name: "pinned_read", Device: "/job:worker/task:0",
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:worker/task:0/device:CPU:0")
+	_, err := placement.Place(g, nil, cluster, cluster[0])
+	if err == nil {
+		t.Fatal("conflicting constraints accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"pinned_read", "params", "/job:worker/task:0", "/job:ps/task:0"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("conflict error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestPlaceConflictBlamesFieldContributor(t *testing.T) {
+	// a imposes the job, b imposes the device type, c conflicts on the
+	// job: the error must blame a (who required /job:ps), not b (the most
+	// recent contributor, who only required the CPU).
+	g := graph.New()
+	g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "a", Attrs: map[string]any{"value": tensor.Scalar(1)},
+		Device: "/job:ps",
+	})
+	g.AddNode("Const", nil, graph.NodeArgs{
+		Name:   "b",
+		Attrs:  map[string]any{"value": tensor.Scalar(2), graph.ColocationAttr: []string{"a"}},
+		Device: "/device:CPU:0",
+	})
+	g.AddNode("Const", nil, graph.NodeArgs{
+		Name:   "c",
+		Attrs:  map[string]any{"value": tensor.Scalar(3), graph.ColocationAttr: []string{"a"}},
+		Device: "/job:worker",
+	})
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:worker/task:0/device:CPU:0")
+	_, err := placement.Place(g, nil, cluster, cluster[0])
+	if err == nil {
+		t.Fatal("conflicting constraints accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `colocated node "a"`) {
+		t.Errorf("conflict error %q should blame node a (the job contributor)", msg)
+	}
+	if strings.Contains(msg, `colocated node "b"`) {
+		t.Errorf("conflict error %q blames b, which did not constrain the job", msg)
+	}
+}
+
+func TestPlaceUnionsNodesSharingOutOfSetPeer(t *testing.T) {
+	// a and b both hint the pruned node v: they must land in one group
+	// (and on one device), even though v itself is not placed.
+	g := graph.New()
+	v, _ := g.AddNode("Variable", nil, graph.NodeArgs{
+		Name:  "v",
+		Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{1}},
+	})
+	a, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name:  "a",
+		Attrs: map[string]any{"value": tensor.Scalar(1), graph.ColocationAttr: []string{"v"}},
+	})
+	b, _ := g.AddNode("Const", nil, graph.NodeArgs{
+		Name:   "b",
+		Attrs:  map[string]any{"value": tensor.Scalar(2), graph.ColocationAttr: []string{"v"}},
+		Device: "/job:ps/task:1",
+	})
+	set := graph.NodeSet{a.ID(): true, b.ID(): true} // v pruned
+	cluster := devs(t, "/job:ps/task:0/device:CPU:0", "/job:ps/task:1/device:CPU:0")
+	asg, err := placement.Place(g, set, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's pin must carry to a through the shared (out-of-set) peer.
+	want := "/job:ps/task:1/device:CPU:0"
+	if asg[a.ID()].String() != want || asg[b.ID()].String() != want {
+		t.Errorf("a on %v, b on %v, want both on %s", asg[a.ID()], asg[b.ID()], want)
+	}
+	if _, placed := asg[v.ID()]; placed {
+		t.Error("pruned peer was assigned a device")
 	}
 }

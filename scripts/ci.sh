@@ -1,5 +1,7 @@
 #!/bin/sh
-# Tier-1 CI gate. The gate itself is defined once, in the Makefile.
+# Tier-1 CI gate. The gate itself is defined once, in the Makefile:
+#   gofmt -l gating  →  go vet  →  go build  →  go test ./...
+#   + race detector on internal/exec and internal/distributed
 set -eu
 cd "$(dirname "$0")/.."
 exec make ci

@@ -162,14 +162,14 @@ func (gr *Graph) While(loopVars []Output, invariants []Output,
 	// Install the loop context for the cond/body closures.
 	lc.parentMapper = gr.b.SetInputMapper(lc.mapInput)
 	prevAdd := gr.b.SetOnAdd(lc.onAdd)
-	gr.loopStack = append(gr.loopStack, lc)
+	gr.st.loopStack = append(gr.st.loopStack, lc)
 	popped := false
 	restore := func() {
 		gr.b.SetInputMapper(lc.parentMapper)
 		gr.b.SetOnAdd(prevAdd)
 		if !popped {
 			popped = true
-			gr.loopStack = gr.loopStack[:len(gr.loopStack)-1]
+			gr.st.loopStack = gr.st.loopStack[:len(gr.st.loopStack)-1]
 		}
 	}
 
@@ -230,8 +230,8 @@ func (gr *Graph) While(loopVars []Output, invariants []Output,
 	restore()
 	// Exit values are delivered into the enclosing frame, so an enclosing
 	// loop context must treat them as resident.
-	if len(gr.loopStack) > 0 {
-		outer := gr.loopStack[len(gr.loopStack)-1]
+	if len(gr.st.loopStack) > 0 {
+		outer := gr.st.loopStack[len(gr.st.loopStack)-1]
 		for _, e := range exitNodes {
 			outer.resident[e] = true
 		}

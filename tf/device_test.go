@@ -1,0 +1,61 @@
+package tf_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tf"
+)
+
+func TestWithDeviceStampsNodes(t *testing.T) {
+	g := tf.NewGraph()
+	ps := g.WithDevice("/job:ps")
+	c := ps.WithDevice("/task:1").Const(float32(1))
+	g.Must()
+	if got := c.Op().Node().Device(); got != "/job:ps/task:1" {
+		t.Errorf("node device = %q, want /job:ps/task:1", got)
+	}
+	// The root view stays unconstrained.
+	if g.Device() != "" {
+		t.Errorf("root device = %q", g.Device())
+	}
+	free := g.Const(float32(2))
+	if got := free.Op().Node().Device(); got != "" {
+		t.Errorf("unscoped node device = %q", got)
+	}
+}
+
+func TestScopedViewsShareGraphState(t *testing.T) {
+	g := tf.NewGraph()
+	// A variable declared under a device scope registers its initializer
+	// with the shared graph state, so the root InitOp runs it.
+	v := g.WithDevice("/job:ps/task:0").NewVariableFromTensor("v", tf.Scalar(41))
+	sess := newSession(t, g)
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Fetch1(nil, v.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FloatAt(0) != 41 {
+		t.Errorf("v = %v, want 41", out.FloatAt(0))
+	}
+	// Error state is shared too: a failure under one view breaks them all.
+	g.WithDevice("/nonsense:0")
+	if g.Err() == nil || !strings.Contains(g.Err().Error(), "nonsense") {
+		t.Errorf("root Err = %v, want malformed-spec failure from the view", g.Err())
+	}
+}
+
+func TestColocateWithStampsHints(t *testing.T) {
+	g := tf.NewGraph()
+	v := g.NewVariableFromTensor("params", tf.Scalar(0))
+	slot := g.ColocateWith(v.Ref().Op()).Const(float32(0))
+	g.Must()
+	hints := slot.Op().Node().Colocation()
+	if len(hints) != 1 || hints[0] != "params" {
+		t.Errorf("colocation hints = %v, want [params]", hints)
+	}
+}

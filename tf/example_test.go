@@ -1,0 +1,51 @@
+package tf_test
+
+import (
+	"fmt"
+
+	"repro/tf"
+)
+
+// WithDevice scopes mirror the reference client's `with tf.device(...)`
+// blocks (§3.3): every node built through the view carries the constraint,
+// nested scopes refine it, and the distributed master's placer resolves
+// partial specs to concrete devices.
+func ExampleGraph_WithDevice() {
+	g := tf.NewGraph()
+
+	ps := g.WithDevice("/job:ps")
+	w := ps.WithDevice("/task:0").NewVariableFromTensor("w", tf.Scalar(0))
+	b := ps.WithDevice("/task:1").NewVariableFromTensor("b", tf.Scalar(0))
+
+	fmt.Println(w.Node().Device())
+	fmt.Println(b.Node().Device())
+	// Output:
+	// /job:ps/task:0
+	// /job:ps/task:1
+}
+
+// WithScope prefixes node names, keeping towers, layers and gradient
+// subgraphs legible inside one flat namespace.
+func ExampleGraph_WithScope() {
+	g := tf.NewGraph()
+
+	layer := g.WithScope("tower0").WithScope("layer1")
+	x := layer.Const(float32(2))
+
+	fmt.Println(x.Op().Name())
+	// Output:
+	// tower0/layer1/Const
+}
+
+// ColocateWith pins derived state — optimizer slots, accumulators — onto
+// the device of the operation it shadows, without naming that device.
+func ExampleGraph_ColocateWith() {
+	g := tf.NewGraph()
+
+	v := g.WithDevice("/job:ps/task:2").NewVariableFromTensor("params", tf.Scalar(0))
+	slot := g.ColocateWith(v.Ref().Op()).NewVariableFromTensor("params/slot", tf.Scalar(0))
+
+	fmt.Println(slot.Node().Colocation())
+	// Output:
+	// [params]
+}

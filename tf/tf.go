@@ -6,6 +6,12 @@
 // checkpointing (tf/train), neural-network layers and sharded embeddings
 // (tf/nn), and distributed execution (tf/dist) are all layered on top of
 // the same graph-construction primitives, in user-level code.
+//
+// Graph handles support scoped views: WithScope prefixes node names,
+// WithDevice stamps (possibly partial) device constraints the placer
+// resolves (§3.3), and ColocateWith pins derived state next to the
+// operation it shadows. Views share one underlying graph, so they mix
+// freely with each other and with sessions.
 package tf
 
 import (
@@ -112,9 +118,21 @@ func (op *Operation) Node() *graph.Node { return op.n }
 
 // Graph accumulates operations. All methods record the first construction
 // error; check Err (or use Must) before running.
+//
+// WithScope, WithDevice and ColocateWith return scoped views of the same
+// graph: handles that share the underlying node list, error state and
+// variable tracking, but prefix names or stamp device/colocation
+// constraints on the nodes they emit (§3.3). Views are cheap and freely
+// mixed — a session created from any view runs the whole graph.
 type Graph struct {
-	g         *graph.Graph
-	b         *build.B
+	g *graph.Graph
+	b *build.B
+	// st is shared between every scoped view of one graph, so init ops and
+	// loop contexts registered under a scope are visible everywhere.
+	st *graphState
+}
+
+type graphState struct {
 	inits     []*graph.Node
 	loopStack []*loopCtx
 }
@@ -122,7 +140,42 @@ type Graph struct {
 // NewGraph creates an empty graph.
 func NewGraph() *Graph {
 	g := graph.New()
-	return &Graph{g: g, b: build.New(g)}
+	return &Graph{g: g, b: build.New(g), st: &graphState{}}
+}
+
+// view wraps a derived builder in a Graph handle sharing this graph's state.
+func (gr *Graph) view(b *build.B) *Graph {
+	return &Graph{g: gr.g, b: b, st: gr.st}
+}
+
+// WithScope returns a view whose node names are prefixed with scope (nested
+// scopes join with "/"), keeping subgraphs legible in one flat namespace.
+func (gr *Graph) WithScope(scope string) *Graph {
+	return gr.view(gr.b.WithScope(scope))
+}
+
+// WithDevice returns a view that stamps every emitted node with the given
+// (possibly partial) device constraint — the analogue of the reference
+// API's `with tf.device(...)` scoping (§3.3). Nested scopes refine outer
+// ones, the inner winning on conflicting fields; an empty spec clears the
+// constraint. The placer resolves partial constraints to concrete devices.
+func (gr *Graph) WithDevice(spec string) *Graph {
+	return gr.view(gr.b.WithDevice(spec))
+}
+
+// Device returns this view's device constraint ("" when unconstrained).
+func (gr *Graph) Device() string { return gr.b.Device() }
+
+// ColocateWith returns a view whose nodes carry a colocation hint naming
+// op: the placer puts them on op's device, exactly as if they shared a
+// reference edge (§3.3). Use it to pin derived state — optimizer slots,
+// accumulators — next to the variable it shadows.
+func (gr *Graph) ColocateWith(op *Operation) *Graph {
+	if op == nil || op.n == nil {
+		gr.b.Fail(fmt.Errorf("tf: ColocateWith given an invalid operation"))
+		return gr
+	}
+	return gr.view(gr.b.ColocateWith(op.n))
 }
 
 // Err returns the first graph-construction error, if any.
@@ -157,12 +210,12 @@ func (o Output) Unwrap() graph.Endpoint { return o.ep }
 func (gr *Graph) WrapOutput(ep graph.Endpoint) Output { return gr.wrap(ep) }
 
 // AddInit registers an initialization op to be grouped by InitOp.
-func (gr *Graph) AddInit(op *graph.Node) { gr.inits = append(gr.inits, op) }
+func (gr *Graph) AddInit(op *graph.Node) { gr.st.inits = append(gr.st.inits, op) }
 
 // InitOp returns a NoOp that runs every registered variable initializer —
 // the conventional first step of a training session.
 func (gr *Graph) InitOp() *Operation {
-	n := gr.b.Group(gr.g.UniqueName("init"), gr.inits...)
+	n := gr.b.Group(gr.g.UniqueName("init"), gr.st.inits...)
 	return &Operation{n: n, g: gr}
 }
 

@@ -1,0 +1,72 @@
+package train_test
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/placement"
+	"repro/tf"
+	"repro/tf/train"
+)
+
+// TestOptimizerSlotsColocateWithVariable verifies that optimizer state is
+// pinned next to the variable it adapts (§3.3, §4.1): with the parameter on
+// a PS task, the Momentum velocity slot must be placed on the same task
+// even though nothing else constrains it.
+func TestOptimizerSlotsColocateWithVariable(t *testing.T) {
+	g := tf.NewGraph()
+	ps := g.WithDevice("/job:ps/task:1")
+	loss, w := quadraticOn(t, ps)
+	opt := &train.Momentum{LearningRate: 0.1, Decay: 0.9}
+	if _, err := opt.Minimize(g, loss, []*tf.Variable{w}); err != nil {
+		t.Fatal(err)
+	}
+	g.Must()
+
+	slot := g.Raw().ByName(w.Name() + "/momentum")
+	if slot == nil {
+		t.Fatal("momentum slot variable not found")
+	}
+	hints := slot.Colocation()
+	if len(hints) == 0 || hints[0] != w.Name() {
+		t.Fatalf("slot colocation hints = %v, want [%s]", hints, w.Name())
+	}
+
+	// The placer lands the slot on the variable's task.
+	cluster := make([]device.Spec, 2)
+	for i, name := range []string{"/job:ps/task:0/device:CPU:0", "/job:ps/task:1/device:CPU:0"} {
+		spec, err := device.ParseSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster[i] = spec
+	}
+	asg, err := placement.Place(g.Raw(), nil, cluster, cluster[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "/job:ps/task:1/device:CPU:0"
+	if asg[slot.ID()].String() != want {
+		t.Errorf("slot placed on %v, want %s", asg[slot.ID()], want)
+	}
+	if asg[w.Node().ID()].String() != want {
+		t.Errorf("variable placed on %v, want %s", asg[w.Node().ID()], want)
+	}
+}
+
+// quadraticOn mirrors quadratic but builds through the given (possibly
+// device-scoped) view.
+func quadraticOn(t *testing.T, g *tf.Graph) (tf.Output, *tf.Variable) {
+	t.Helper()
+	x := g.Const(tf.FromFloat32s(tf.Shape{4, 2}, []float32{
+		1, 0,
+		0, 1,
+		1, 1,
+		2, 1,
+	}))
+	y := g.Const(tf.FromFloat32s(tf.Shape{4, 1}, []float32{2, -3, -1, 1}))
+	w := g.NewVariableFromTensor("w", tf.NewTensor(tf.Float32, tf.Shape{2, 1}))
+	pred := g.MatMul(x, w.Value())
+	loss := g.Mean(g.Square(g.Sub(pred, y)), nil, false)
+	return loss, w
+}

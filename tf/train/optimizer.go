@@ -41,9 +41,13 @@ func minimize(o Optimizer, g *tf.Graph, loss tf.Output, vars []*tf.Variable) (*t
 // slotVar creates an accumulator variable shadowing v (e.g. the Momentum
 // "velocity"), initialized to a constant fill. The paper uses exactly this
 // pattern to show optimizers need no privileged runtime support (§4.1).
+// The slot is colocated with v, so in a parameter-server placement the
+// optimizer state lives on the same task as the parameters it adapts
+// (§3.3, §4.1).
 func slotVar(g *tf.Graph, v *tf.Variable, slot string, fill float64) *tf.Variable {
-	init := g.Const(mustFill(v.DType(), v.Shape(), fill))
-	return g.NewVariable(v.Name()+"/"+slot, init)
+	gc := g.ColocateWith(v.Ref().Op())
+	init := gc.Const(mustFill(v.DType(), v.Shape(), fill))
+	return gc.NewVariable(v.Name()+"/"+slot, init)
 }
 
 func mustFill(dt tf.DType, shape tf.Shape, fill float64) *tf.Tensor {
