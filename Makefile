@@ -1,12 +1,12 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race race-hot bench
+.PHONY: ci fmt vet build test race race-hot bench bench-smoke
 
 # Tier-1 gate: everything must be gofmt-clean, vet, build, and test
-# green, and the concurrency-heavy packages must pass under the race
-# detector.
-ci: fmt vet build test race-hot
+# green, the concurrency-heavy packages must pass under the race
+# detector, and every root benchmark must compile and run once.
+ci: fmt vet build test race-hot bench-smoke
 
 # Fail if any tracked Go file is not gofmt-formatted.
 fmt:
@@ -33,5 +33,13 @@ race:
 race-hot:
 	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/...
 
+# Full benchmark pass: runs every root benchmark once and refreshes the
+# committed BENCH_PR3.json snapshot (pass BENCHTIME=2s for stable numbers).
+BENCHTIME ?= 1x
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	scripts/bench.sh $(BENCHTIME)
+
+# CI smoke gate: same single-iteration pass, snapshot to a scratch path so
+# the gate never dirties the working tree.
+bench-smoke:
+	scripts/bench.sh 1x $${TMPDIR:-/tmp}/bench-smoke.json

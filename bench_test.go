@@ -1,8 +1,10 @@
 // Package repro_test is the benchmark harness at the root of the
 // repository: one benchmark per table and figure of the paper's evaluation
 // (§6), a set of real-runtime microbenchmarks, and ablations of the design
-// choices called out in DESIGN.md. cmd/tfbench prints the same results as
-// formatted tables; EXPERIMENTS.md records a snapshot.
+// choices described in ARCHITECTURE.md (see "Executor scheduling and
+// memory reuse"). cmd/tfbench prints the same results as formatted tables;
+// EXPERIMENTS.md records a snapshot, and scripts/bench.sh regenerates the
+// machine-readable BENCH_PR3.json.
 package repro_test
 
 import (
@@ -237,7 +239,7 @@ func BenchmarkDistributedStep(b *testing.B) {
 	}
 }
 
-// --- ablations (DESIGN.md) --------------------------------------------------
+// --- ablations (ARCHITECTURE.md) --------------------------------------------
 
 // BenchmarkAblationSubgraphCache quantifies the master's subgraph cache
 // (§3.3/§5): step latency with the cached executable vs re-pruning and

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -43,6 +44,15 @@ type Session struct {
 	cache     map[string]*exec.Executable
 	optimized bool
 	replaced  map[graph.Endpoint]graph.Endpoint
+
+	// last remembers the most recent step definition so a training loop
+	// repeating one step skips the signature build on every iteration.
+	last struct {
+		feeds   []graph.Endpoint
+		fetches []graph.Endpoint
+		targets []*graph.Node
+		ex      *exec.Executable
+	}
 
 	stepCounter atomic.Int64
 	closed      atomic.Bool
@@ -111,6 +121,12 @@ func (s *Session) optimizeOnce() {
 func (s *Session) Executable(feeds []graph.Endpoint, fetches []graph.Endpoint, targets []*graph.Node) (*exec.Executable, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Repeated-step fast path: a loop re-running the previous definition
+	// pays an O(n) comparison instead of rebuilding the signature string.
+	if s.last.ex != nil && slices.Equal(feeds, s.last.feeds) &&
+		slices.Equal(fetches, s.last.fetches) && slices.Equal(targets, s.last.targets) {
+		return s.last.ex, nil
+	}
 	s.optimizeOnce()
 	remappedFetches := make([]graph.Endpoint, len(fetches))
 	for i, f := range fetches {
@@ -118,6 +134,7 @@ func (s *Session) Executable(feeds []graph.Endpoint, fetches []graph.Endpoint, t
 	}
 	key := signature(feeds, remappedFetches, targets)
 	if ex, ok := s.cache[key]; ok {
+		s.rememberLast(feeds, fetches, targets, ex)
 		return ex, nil
 	}
 	ex, err := exec.Compile(s.g, feeds, remappedFetches, targets, s.opts.DeviceType)
@@ -125,7 +142,17 @@ func (s *Session) Executable(feeds []graph.Endpoint, fetches []graph.Endpoint, t
 		return nil, err
 	}
 	s.cache[key] = ex
+	s.rememberLast(feeds, fetches, targets, ex)
 	return ex, nil
+}
+
+// rememberLast records the step definition for the repeated-step fast path
+// (defensive copies: callers may reuse their slices).
+func (s *Session) rememberLast(feeds, fetches []graph.Endpoint, targets []*graph.Node, ex *exec.Executable) {
+	s.last.feeds = append(s.last.feeds[:0], feeds...)
+	s.last.fetches = append(s.last.fetches[:0], fetches...)
+	s.last.targets = append(s.last.targets[:0], targets...)
+	s.last.ex = ex
 }
 
 // Run executes one step: it feeds the given endpoint/tensor pairs, runs

@@ -5,13 +5,20 @@
 // style of timely dataflow (§3.4).
 //
 // A graph is compiled once into an immutable Executable (the "cached
-// subgraph" of §3.3/§5); each Run creates a fresh, independent step state,
-// so steps never share anything except the stateful resources (variables,
-// queues) owned by the device.
+// subgraph" of §3.3/§5). Per-step costs are amortized into compile time:
+// the executable precomputes a flat input/output value arena layout, the
+// initial pending counts, the feed and fetch delivery slots, and owns a
+// persistent worker pool plus a pool of reusable step states, so a
+// steady-state Run allocates almost nothing. Steps still never share
+// anything except the stateful resources (variables, queues) owned by the
+// device.
 package exec
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/ops"
@@ -32,6 +39,21 @@ type consumer struct {
 	slot int
 }
 
+// fetchRef routes one output of a node into its preassigned fetch slot, so
+// propagation never scans the fetch plan (each fetch slot has exactly one
+// producing node, making the delivery lock-free).
+type fetchRef struct {
+	fetchIdx int32
+	outIdx   int32
+}
+
+// feedSlot is a precomputed (input-arena offset, feed index) pair; resetting
+// a pooled step writes the fed tensors straight into the arena.
+type feedSlot struct {
+	arenaIdx int32
+	feedIdx  int32
+}
+
 // execNode is the compiled form of one graph node.
 type execNode struct {
 	node     *graph.Node
@@ -42,6 +64,7 @@ type execNode struct {
 	numControl   int
 	outConsumers [][]consumer // per output index
 	ctlConsumers []int        // nodes with a control dependency on this node
+	fetches      []fetchRef   // fetch slots this node's outputs fill
 
 	// Control-flow classification (§3.4).
 	isMerge    bool
@@ -52,14 +75,14 @@ type execNode struct {
 	enterConst bool // loop-invariant Enter
 
 	// initialPending is numDataInputs (minus fed) + numControl.
-	initialPending  int32
-	initialCtl      int32
-	numFetchOutputs int // how many outputs are fetched (fast skip when 0)
-	anyConsumers    bool
-	inLoop          bool
+	initialPending int32
+	initialCtl     int32
+	inLoop         bool
 }
 
-// Executable is an immutable compiled subgraph plus its feed/fetch plan.
+// Executable is an immutable compiled subgraph plus its feed/fetch plan and
+// the mutable run-time machinery shared by all of its steps (worker pool,
+// step-state pool).
 type Executable struct {
 	graphRef *graph.Graph
 	nodes    []*execNode
@@ -76,6 +99,21 @@ type Executable struct {
 	hasLoops    bool
 	hasCtrlFlow bool
 	deviceType  string
+
+	// Flat step-state layout, fixed at compile time: node i's input values
+	// live at inArena[inOff[i]:inOff[i+1]] and its outputs at
+	// outArena[outOff[i]:outOff[i+1]] of a pooled step.
+	inOff       []int32
+	outOff      []int32
+	feedSlots   []feedSlot
+	initPending []int32 // prototype pending counters, copied on step reset
+
+	// Persistent worker pool: one work queue shared by every step of this
+	// executable; workers outlive individual steps (see pool.go).
+	queue      chan poolItem
+	workers    atomic.Int32
+	maxWorkers int32
+	stepPool   sync.Pool
 }
 
 // Compile prunes the graph for the given feeds/fetches/targets (§3.2) and
@@ -106,14 +144,14 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 	ids := set.SortedIDs()
 	for _, id := range ids {
 		n := g.Node(id)
-		kernel, err := ops.LookupKernel(n.Op(), deviceType)
+		kernel, mayBlock, err := ops.LookupKernelInfo(n.Op(), deviceType)
 		if err != nil {
 			return nil, err
 		}
 		en := &execNode{
 			node:         n,
 			kernel:       kernel,
-			mayBlock:     ops.MayBlock(n.Op()),
+			mayBlock:     mayBlock,
 			numControl:   0,
 			outConsumers: make([][]consumer, n.NumOutputs()),
 		}
@@ -147,7 +185,6 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 			}
 			en.inputs = append(en.inputs, inputSource{producer: pl, outIdx: in.Index})
 			ex.nodes[pl].outConsumers[in.Index] = append(ex.nodes[pl].outConsumers[in.Index], consumer{node: li, slot: slot})
-			ex.nodes[pl].anyConsumers = true
 		}
 		for _, c := range n.ControlInputs() {
 			pl, ok := ex.localIdx[c.ID()]
@@ -158,7 +195,6 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 			}
 			en.numControl++
 			ex.nodes[pl].ctlConsumers = append(ex.nodes[pl].ctlConsumers, li)
-			ex.nodes[pl].anyConsumers = true
 		}
 		pendingData := 0
 		for _, src := range en.inputs {
@@ -176,7 +212,8 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 		}
 	}
 
-	// Fetch plan.
+	// Fetch plan: each fetch slot is preassigned to its producing node, so
+	// propagation delivers fetches without scanning or locking.
 	ex.fetchPlan = make([]inputSource, len(fetches))
 	for i, f := range fetches {
 		if fi, fed := ex.feedIdx[f]; fed {
@@ -188,7 +225,7 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 			return nil, fmt.Errorf("exec: fetch %v not reachable after pruning", f)
 		}
 		ex.fetchPlan[i] = inputSource{producer: pl, outIdx: f.Index}
-		ex.nodes[pl].numFetchOutputs++
+		ex.nodes[pl].fetches = append(ex.nodes[pl].fetches, fetchRef{fetchIdx: int32(i), outIdx: int32(f.Index)})
 	}
 
 	// Roots: nodes ready at step start.
@@ -207,6 +244,39 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 	if ex.hasLoops {
 		ex.markLoopNodes()
 	}
+
+	// Step-state layout: offsets of each node's input/output values inside
+	// the pooled flat arenas, the prototype pending counters, and the slots
+	// fed tensors are written to on step reset.
+	ex.inOff = make([]int32, len(ex.nodes)+1)
+	ex.outOff = make([]int32, len(ex.nodes)+1)
+	ex.initPending = make([]int32, len(ex.nodes))
+	for i, en := range ex.nodes {
+		ex.inOff[i+1] = ex.inOff[i] + int32(len(en.inputs))
+		ex.outOff[i+1] = ex.outOff[i] + int32(en.node.NumOutputs())
+		ex.initPending[i] = en.initialPending
+		for slot, src := range en.inputs {
+			if src.fed {
+				ex.feedSlots = append(ex.feedSlots, feedSlot{
+					arenaIdx: ex.inOff[i] + int32(slot),
+					feedIdx:  int32(src.feedIdx),
+				})
+			}
+		}
+	}
+
+	// Worker pool sizing. The queue is shared by all concurrent steps;
+	// senders fall back to inline execution when it fills, so the capacity
+	// only bounds buffering, not correctness.
+	ex.maxWorkers = int32(runtime.GOMAXPROCS(0))
+	if ex.maxWorkers < 1 {
+		ex.maxWorkers = 1
+	}
+	qcap := len(ex.nodes) + 64
+	if qcap < 256 {
+		qcap = 256
+	}
+	ex.queue = make(chan poolItem, qcap)
 	return ex, nil
 }
 

@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ops"
+)
+
+// This file holds the executable-lifetime run-time machinery: the
+// persistent worker pool shared by every step of one Executable and the
+// sync.Pool of reusable step states. Together they move the executor's
+// per-step fixed costs (goroutine spawns, per-node slice and context
+// allocations) out of the Run hot path, which is what the paper's §5
+// dispatch-rate target demands.
+
+// poolItem is one unit of queued work: a node execution tagged with the
+// step it belongs to, so steps of one executable share a single queue.
+type poolItem struct {
+	s *step
+	w workItem
+}
+
+// runCtx is the per-goroutine scratch state a worker reuses across every
+// item it processes: one op context plus (for the frame-aware path) an
+// output buffer. Kernels must not retain either (see ops.OpContext).
+type runCtx struct {
+	ctx  ops.OpContext
+	outs []ops.Value
+}
+
+// workerIdleTimeout is how long a pool worker stays parked on an empty
+// queue before exiting. It is long enough to keep workers hot across
+// back-to-back steps (a training loop) and short enough that idle
+// executables shed their goroutines.
+const workerIdleTimeout = 200 * time.Millisecond
+
+// runItem executes one queued item with the worker's reusable context.
+func (ex *Executable) runItem(it poolItem, rc *runCtx) {
+	s := it.s
+	if ex.hasCtrlFlow {
+		s.process(it.w, rc)
+	} else {
+		s.initCtx(&rc.ctx)
+		s.runChain(it.w.node, &rc.ctx)
+	}
+	s.finish(1)
+}
+
+// ensureWorker spawns a pool worker if the queue has work and the pool is
+// below its size cap. Callers invoke it after every enqueue; the CAS keeps
+// the population bounded by maxWorkers.
+func (ex *Executable) ensureWorker() {
+	for {
+		n := ex.workers.Load()
+		if n >= ex.maxWorkers || len(ex.queue) == 0 {
+			return
+		}
+		if ex.workers.CompareAndSwap(n, n+1) {
+			go ex.workerLoop()
+			return
+		}
+	}
+}
+
+// workerLoop drains the shared queue until it has been idle for
+// workerIdleTimeout. Workers persist across steps: a steady stream of Runs
+// keeps the same goroutines (and their scratch contexts) hot.
+func (ex *Executable) workerLoop() {
+	var rc runCtx
+	idle := time.NewTimer(workerIdleTimeout)
+	defer idle.Stop()
+	for {
+		var it poolItem
+		select {
+		case it = <-ex.queue:
+		default:
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(workerIdleTimeout)
+			select {
+			case it = <-ex.queue:
+			case <-idle.C:
+				ex.workers.Add(-1)
+				// Re-check after deregistering: a dispatcher that saw
+				// this worker as alive may have enqueued concurrently.
+				// (Run goroutines also drain the queue, so even a lost
+				// item here would still make progress.)
+				select {
+				case it = <-ex.queue:
+					ex.workers.Add(1)
+				default:
+					return
+				}
+			}
+		}
+		ex.runItem(it, &rc)
+	}
+}
+
+// getStep borrows a step state for one Run. Fast-path (no control flow)
+// steps come from the executable's pool and are reset in place: the
+// pending counters are copied from the compile-time prototype, the value
+// arenas were cleared on release, and the fed tensors are written into
+// their precomputed arena slots. Frame-aware steps are built per Run.
+func (ex *Executable) getStep(p RunParams) *step {
+	if ex.hasCtrlFlow {
+		s := &step{
+			ex:       ex,
+			p:        p,
+			fetched:  make([]ops.Value, len(ex.fetches)),
+			fetchSet: make([]bool, len(ex.fetches)),
+			abort:    make(chan struct{}),
+			done:     make(chan struct{}),
+		}
+		s.rootFrame = &frameInstance{
+			iters:     map[int]map[int]*nodeState{},
+			constants: map[int]ops.Value{},
+			children:  map[string]*frameInstance{},
+		}
+		s.rootStates = make([]*nodeState, len(ex.nodes))
+		for i, en := range ex.nodes {
+			st := &nodeState{
+				inputs:     make([]ops.Value, len(en.inputs)),
+				pending:    en.initialPending,
+				ctlPending: en.initialCtl,
+			}
+			for slot, src := range en.inputs {
+				if src.fed {
+					st.inputs[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
+				}
+			}
+			s.rootStates[i] = st
+		}
+		return s
+	}
+	s, _ := ex.stepPool.Get().(*step)
+	if s == nil {
+		n := len(ex.nodes)
+		s = &step{
+			ex:          ex,
+			fastPending: make([]int32, n),
+			inArena:     make([]ops.Value, ex.inOff[n]),
+			outArena:    make([]ops.Value, ex.outOff[n]),
+			fetched:     make([]ops.Value, len(ex.fetches)),
+			fetchSet:    make([]bool, len(ex.fetches)),
+		}
+	} else {
+		s.errOnce = sync.Once{}
+		s.err = nil
+		s.aborted.Store(false)
+	}
+	s.p = p
+	s.abort = make(chan struct{})
+	s.done = make(chan struct{})
+	copy(s.fastPending, ex.initPending)
+	for _, fs := range ex.feedSlots {
+		s.inArena[fs.arenaIdx] = ops.Value{Tensor: p.FeedValues[fs.feedIdx]}
+	}
+	return s
+}
+
+// putStep releases a step back to the pool. By the time Run calls it the
+// step has fully quiesced: the outstanding-token count reached zero (no
+// queued or in-flight work references it) and the abort forwarder has been
+// joined. Clearing the arenas here both drops tensor references promptly
+// and hands the next borrower a zeroed state.
+func (ex *Executable) putStep(s *step) {
+	if ex.hasCtrlFlow {
+		return // frame-aware steps are per-Run; let the GC take them
+	}
+	s.p = RunParams{}
+	clear(s.inArena)
+	clear(s.outArena)
+	clear(s.fetched)
+	clear(s.fetchSet)
+	ex.stepPool.Put(s)
+}

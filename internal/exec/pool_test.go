@@ -1,0 +1,165 @@
+package exec_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	_ "repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// buildChain makes a Placeholder feeding depth Identity nodes and a final
+// Neg, returning the graph and the endpoints to feed and fetch.
+func buildChain(t *testing.T, depth int) (*graph.Graph, graph.Endpoint, graph.Endpoint) {
+	t.Helper()
+	g := graph.New()
+	ph := addNode(t, g, "Placeholder", nil, graph.NodeArgs{
+		Name: "x", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	cur := ph.Out(0)
+	for i := 0; i < depth; i++ {
+		cur = addNode(t, g, "Identity", []graph.Endpoint{cur}, graph.NodeArgs{}).Out(0)
+	}
+	neg := addNode(t, g, "Neg", []graph.Endpoint{cur}, graph.NodeArgs{})
+	return g, ph.Out(0), neg.Out(0)
+}
+
+// TestFastPathStepAllocations pins the executor's steady-state allocation
+// behavior: with pooled step state, arena-backed values, and reusable op
+// contexts, a fast-path null step must stay far below one allocation per
+// op. This guards against future changes silently reintroducing per-node
+// garbage (outputs slices, contexts, input buffers).
+func TestFastPathStepAllocations(t *testing.T) {
+	const depth = 254 // 256 nodes with the Placeholder pruned to a feed
+	g, feedEP, fetchEP := buildChain(t, depth)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	numOps := float64(ex.NumNodes())
+	rm := device.NewResourceManager()
+	x := tensor.Scalar(3)
+	p := exec.RunParams{FeedValues: []*tensor.Tensor{x}, Resources: rm, StepID: 1}
+	// Warm the step pool and the worker pool.
+	for i := 0; i < 4; i++ {
+		if _, err := ex.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := ex.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perOp := avg / numOps
+	t.Logf("allocs/run = %.1f over %d ops (%.3f allocs/op)", avg, int(numOps), perOp)
+	// Budget: 0.25 allocations per op. The steady state is ~10 allocations
+	// per *step* (result slice, done/abort channels, a context per worker
+	// chain), so the per-op figure has a wide margin even under -race.
+	if perOp > 0.25 {
+		t.Errorf("fast-path step allocates %.3f allocs/op (budget 0.25): per-node garbage crept back in", perOp)
+	}
+}
+
+// TestPooledStepsIsolateConcurrentRuns hammers one pooled Executable with
+// concurrent steps over distinct StepIDs and distinct feeds, interleaved
+// with externally aborted steps, and checks every successful result against
+// its own feed: pooled arenas and counters must never leak values across
+// steps.
+func TestPooledStepsIsolateConcurrentRuns(t *testing.T) {
+	g, feedEP, fetchEP := buildChain(t, 40)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	const goroutines = 24
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				want := float32(gi*1000 + r)
+				p := exec.RunParams{
+					FeedValues: []*tensor.Tensor{tensor.Scalar(want)},
+					Resources:  rm,
+					StepID:     int64(gi*rounds + r + 1),
+				}
+				// Every third round runs with an already-fired external
+				// abort: the step must fail without poisoning the pooled
+				// state it returns.
+				if r%3 == 2 {
+					abort := make(chan struct{})
+					close(abort)
+					p.Abort = abort
+					// A pre-closed abort may still lose the race with a
+					// fast step, so both failure and a correct result are
+					// acceptable; only a wrong value is a leak.
+					if out, err := ex.Run(p); err == nil {
+						if got := out[0].FloatAt(0); got != -float64(want) {
+							select {
+							case errs <- fmt.Errorf("aborted step %d: fetched %v, want %v (cross-step leak)", p.StepID, got, -want):
+							default:
+							}
+							return
+						}
+					}
+					continue
+				}
+				out, err := ex.Run(p)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("step %d: %v", p.StepID, err):
+					default:
+					}
+					return
+				}
+				if got := out[0].FloatAt(0); got != -float64(want) {
+					select {
+					case errs <- fmt.Errorf("step %d: fetched %v, want %v (cross-step leak)", p.StepID, got, -want):
+					default:
+					}
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPooledStepSequentialReuse checks that back-to-back steps on one
+// executable (the training-loop shape that exercises step-state reuse the
+// hardest) stay correct when feeds change every iteration.
+func TestPooledStepSequentialReuse(t *testing.T) {
+	g, feedEP, fetchEP := buildChain(t, 8)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	for i := 0; i < 200; i++ {
+		want := float32(i)
+		out, err := ex.Run(exec.RunParams{
+			FeedValues: []*tensor.Tensor{tensor.Scalar(want)},
+			Resources:  rm,
+			StepID:     int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[0].FloatAt(0); got != -float64(want) {
+			t.Fatalf("iteration %d: fetched %v, want %v", i, got, -want)
+		}
+	}
+}

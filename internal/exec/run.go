@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -29,7 +28,8 @@ type RunParams struct {
 
 // Run executes one step and returns the fetched tensors, in the order the
 // fetches were given to Compile. Multiple Runs may execute concurrently on
-// one Executable.
+// one Executable; each borrows an isolated step state from the
+// executable's pool and returns it on completion.
 func (ex *Executable) Run(p RunParams) ([]*tensor.Tensor, error) {
 	if len(p.FeedValues) != len(ex.feeds) {
 		return nil, fmt.Errorf("exec: %d feed values for %d feeds", len(p.FeedValues), len(ex.feeds))
@@ -46,29 +46,36 @@ func (ex *Executable) Run(p RunParams) ([]*tensor.Tensor, error) {
 			return nil, fmt.Errorf("exec: feed %v has shape %v, edge requires %v", ex.feeds[i], t.Shape(), spec.Shape)
 		}
 	}
-	s := newStep(ex, p)
-	s.start()
-	<-s.done
-	if err := s.stepErr(); err != nil {
-		return nil, err
+	s := ex.getStep(p)
+	s.run()
+	err := s.stepErr()
+	var out []*tensor.Tensor
+	if err == nil {
+		out = make([]*tensor.Tensor, len(ex.fetches))
+		for i, plan := range ex.fetchPlan {
+			if plan.fed {
+				out[i] = p.FeedValues[plan.feedIdx]
+				continue
+			}
+			if !s.fetchSet[i] {
+				err = fmt.Errorf("exec: fetch %v was never produced", ex.fetches[i])
+				break
+			}
+			v := s.fetched[i]
+			if v.Dead {
+				err = fmt.Errorf("exec: fetch %v is dead (untaken conditional branch)", ex.fetches[i])
+				break
+			}
+			if v.Tensor == nil {
+				err = fmt.Errorf("exec: fetch %v is a reference, not a tensor; fetch through a Read op", ex.fetches[i])
+				break
+			}
+			out[i] = v.Tensor
+		}
 	}
-	out := make([]*tensor.Tensor, len(ex.fetches))
-	for i, plan := range ex.fetchPlan {
-		if plan.fed {
-			out[i] = p.FeedValues[plan.feedIdx]
-			continue
-		}
-		v := s.fetched[i]
-		if v == nil {
-			return nil, fmt.Errorf("exec: fetch %v was never produced", ex.fetches[i])
-		}
-		if v.Dead {
-			return nil, fmt.Errorf("exec: fetch %v is dead (untaken conditional branch)", ex.fetches[i])
-		}
-		if v.Tensor == nil {
-			return nil, fmt.Errorf("exec: fetch %v is a reference, not a tensor; fetch through a Read op", ex.fetches[i])
-		}
-		out[i] = v.Tensor
+	ex.putStep(s)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -109,7 +116,8 @@ func (f *frameInstance) claimConst(iter, cn int) bool {
 	return true
 }
 
-// nodeState is the per-(node, frame, iteration) execution state.
+// nodeState is the per-(node, frame, iteration) execution state of the
+// frame-aware path.
 type nodeState struct {
 	mu         sync.Mutex
 	inputs     []ops.Value
@@ -122,29 +130,38 @@ type nodeState struct {
 	done       bool
 }
 
+// workItem identifies one node execution; frame/iter are nil/0 on the fast
+// path.
 type workItem struct {
 	node  int
 	frame *frameInstance
 	iter  int
 }
 
+// step is the per-Run execution state. Fast-path steps (no control flow)
+// are pooled and arena-backed: all input/output values live in two flat
+// slices laid out at compile time, and resetting a recycled step is a
+// couple of copies and clears. Frame-aware steps are allocated per Run.
 type step struct {
 	ex *Executable
 	p  RunParams
 
-	// Fast path (no control flow): atomic dense state.
+	// Fast path (no control flow): atomic dense pending counters plus the
+	// input/output value arenas (see Executable.inOff/outOff).
 	fastPending []int32
-	fastInputs  [][]ops.Value
+	inArena     []ops.Value
+	outArena    []ops.Value
 
 	// Slow path: dense root states + dynamic loop frames.
 	rootStates []*nodeState
 	rootFrame  *frameInstance
 
-	fetched []*ops.Value
+	// fetched[i] is written by the unique producer of fetch i (lock-free:
+	// slots are preassigned at compile time); fetchSet marks delivery.
+	fetched  []ops.Value
+	fetchSet []bool
 
 	outstanding atomic.Int64
-	queue       chan workItem
-	workers     int
 
 	abort   chan struct{}
 	done    chan struct{}
@@ -155,60 +172,9 @@ type step struct {
 	errMu   sync.Mutex
 	err     error
 	aborted atomic.Bool
-	fetchMu sync.Mutex
-}
-
-func newStep(ex *Executable, p RunParams) *step {
-	s := &step{
-		ex:      ex,
-		p:       p,
-		fetched: make([]*ops.Value, len(ex.fetches)),
-		abort:   make(chan struct{}),
-		done:    make(chan struct{}),
-		queue:   make(chan workItem, len(ex.nodes)+64),
-	}
-	s.workers = runtime.GOMAXPROCS(0)
-	if s.workers > len(ex.nodes)+1 {
-		s.workers = len(ex.nodes) + 1
-	}
-	if s.workers < 1 {
-		s.workers = 1
-	}
-	if ex.hasCtrlFlow {
-		s.rootFrame = &frameInstance{
-			iters:     map[int]map[int]*nodeState{},
-			constants: map[int]ops.Value{},
-			children:  map[string]*frameInstance{},
-		}
-		s.rootStates = make([]*nodeState, len(ex.nodes))
-		for i, en := range ex.nodes {
-			st := &nodeState{
-				inputs:     make([]ops.Value, len(en.inputs)),
-				pending:    en.initialPending,
-				ctlPending: en.initialCtl,
-			}
-			for slot, src := range en.inputs {
-				if src.fed {
-					st.inputs[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
-				}
-			}
-			s.rootStates[i] = st
-		}
-	} else {
-		s.fastPending = make([]int32, len(ex.nodes))
-		s.fastInputs = make([][]ops.Value, len(ex.nodes))
-		for i, en := range ex.nodes {
-			s.fastPending[i] = en.initialPending
-			vals := make([]ops.Value, len(en.inputs))
-			for slot, src := range en.inputs {
-				if src.fed {
-					vals[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
-				}
-			}
-			s.fastInputs[i] = vals
-		}
-	}
-	return s
+	// forwarder joins the external-abort watcher goroutine before the step
+	// returns to the pool, so a late abort can never touch recycled state.
+	forwarder sync.WaitGroup
 }
 
 func (s *step) fail(err error) {
@@ -228,58 +194,79 @@ func (s *step) stepErr() error {
 	return s.err
 }
 
-func (s *step) start() {
-	// Forward external aborts into the step.
-	if s.p.Abort != nil {
+// run executes the step to completion on the calling goroutine plus the
+// executable's shared worker pool. The caller's goroutine seeds the roots,
+// executes one root chain inline, and then helps drain the shared queue
+// until the step completes, so a single-threaded step never pays a
+// goroutine handoff.
+func (s *step) run() {
+	if ab := s.p.Abort; ab != nil {
+		stepID := s.p.StepID
+		s.forwarder.Add(1)
 		go func() {
+			defer s.forwarder.Done()
 			select {
-			case <-s.p.Abort:
-				s.fail(fmt.Errorf("exec: step %d aborted by caller", s.p.StepID))
+			case <-ab:
+				s.fail(fmt.Errorf("exec: step %d aborted by caller", stepID))
 			case <-s.done:
 			}
 		}()
 	}
-	for w := 0; w < s.workers; w++ {
-		go s.workerLoop()
-	}
 	// Token guarding the kickoff so outstanding cannot hit zero while
-	// roots are still being enqueued.
+	// roots are still being seeded.
 	s.outstanding.Add(1)
-	for _, r := range s.ex.roots {
-		w := workItem{node: r, frame: s.rootFrame, iter: 0}
-		// An Enter becomes a root when its only input is fed (a placeholder
-		// captured into a loop). It must still execute in its child frame —
-		// the re-addressing deliverData would have applied — or its outputs
-		// and loop-invariant constants land in the root frame and the loop
-		// deadlocks.
-		if en := s.ex.nodes[r]; en.isEnter && s.ex.hasCtrlFlow {
-			w.frame = s.childFrame(s.rootFrame, 0, en.enterFrame)
-			s.state(w.frame, 0, r, true)
+	var rc runCtx
+	if s.ex.hasCtrlFlow {
+		for _, r := range s.ex.roots {
+			w := workItem{node: r, frame: s.rootFrame, iter: 0}
+			// An Enter becomes a root when its only input is fed (a placeholder
+			// captured into a loop). It must still execute in its child frame —
+			// the re-addressing deliverData would have applied — or its outputs
+			// and loop-invariant constants land in the root frame and the loop
+			// deadlocks.
+			if en := s.ex.nodes[r]; en.isEnter {
+				w.frame = s.childFrame(s.rootFrame, 0, en.enterFrame)
+				s.state(w.frame, 0, r, true)
+			}
+			s.enqueue(w)
 		}
-		s.enqueue(w)
-	}
-	s.finish(1)
-}
-
-// enqueue schedules a node execution; it owns one outstanding token.
-func (s *step) enqueue(w workItem) {
-	s.outstanding.Add(1)
-	en := s.ex.nodes[w.node]
-	if en.mayBlock {
-		// Blocking kernels get private goroutines so they cannot
-		// starve the compute workers (queues, Recv).
-		go func() {
-			s.process(w)
-			s.finish(1)
-		}()
-		return
-	}
-	select {
-	case s.queue <- w:
-	default:
-		// Queue full: execute inline rather than block a worker.
-		s.process(w)
 		s.finish(1)
+	} else {
+		s.initCtx(&rc.ctx)
+		// Keep one non-blocking root for this goroutine; hand the rest to
+		// the pool so other workers can start them concurrently.
+		inline := -1
+		for _, r := range s.ex.roots {
+			if inline < 0 && !s.ex.nodes[r].mayBlock {
+				inline = r
+				continue
+			}
+			s.enqueueFast(r, &rc.ctx)
+		}
+		if inline >= 0 {
+			s.runChain(inline, &rc.ctx)
+		}
+		s.finish(1)
+	}
+	// Help drain the shared queue until this step completes. Any step's
+	// Run goroutine is a consumer of last resort, so queued work always
+	// makes progress even with every pool worker idle or busy. The
+	// non-blocking done check first gives completion priority: a finished
+	// step returns its result instead of adopting another step's chain.
+	for {
+		select {
+		case <-s.done:
+			s.forwarder.Wait()
+			return
+		default:
+		}
+		select {
+		case <-s.done:
+			s.forwarder.Wait()
+			return
+		case it := <-s.ex.queue:
+			s.ex.runItem(it, &rc)
+		}
 	}
 }
 
@@ -290,61 +277,172 @@ func (s *step) finish(n int64) {
 	}
 }
 
-func (s *step) workerLoop() {
-	for {
-		select {
-		case w := <-s.queue:
-			s.process(w)
-			s.finish(1)
-		case <-s.done:
+// initCtx fills the step-invariant fields of a reusable op context.
+func (s *step) initCtx(ctx *ops.OpContext) {
+	ctx.Resources = s.p.Resources
+	ctx.Rendezvous = s.p.Rendezvous
+	ctx.StepID = s.p.StepID
+	ctx.Abort = s.abort
+}
+
+// --- fast path (no control flow) -------------------------------------------
+
+// runChain executes node and then, run-to-completion style, any single
+// successor its completion made ready: linear segments of the graph become
+// a tight loop on one goroutine with no queue round-trips. Extra ready
+// successors are handed to the worker pool.
+func (s *step) runChain(node int, ctx *ops.OpContext) {
+	ex := s.ex
+	for node >= 0 {
+		if s.aborted.Load() {
 			return
 		}
+		en := ex.nodes[node]
+		outputs := s.outArena[ex.outOff[node]:ex.outOff[node+1]:ex.outOff[node+1]]
+		ctx.Node = en.node
+		ctx.Inputs = s.inArena[ex.inOff[node]:ex.inOff[node+1]:ex.inOff[node+1]]
+		ctx.Outputs = outputs
+		if err := en.kernel(ctx); err != nil {
+			s.fail(fmt.Errorf("exec: %s (%s): %w", en.node.Name(), en.node.Op(), err))
+			return
+		}
+		for _, ft := range en.fetches {
+			s.fetched[ft.fetchIdx] = outputs[ft.outIdx]
+			s.fetchSet[ft.fetchIdx] = true
+		}
+		next := -1
+		for outIdx, consumers := range en.outConsumers {
+			v := outputs[outIdx]
+			for _, c := range consumers {
+				s.inArena[ex.inOff[c.node]+int32(c.slot)] = v
+				if atomic.AddInt32(&s.fastPending[c.node], -1) == 0 {
+					if next < 0 && !ex.nodes[c.node].mayBlock {
+						next = c.node
+					} else {
+						s.enqueueFast(c.node, ctx)
+					}
+				}
+			}
+		}
+		for _, c := range en.ctlConsumers {
+			if atomic.AddInt32(&s.fastPending[c], -1) == 0 {
+				if next < 0 && !ex.nodes[c].mayBlock {
+					next = c
+				} else {
+					s.enqueueFast(c, ctx)
+				}
+			}
+		}
+		node = next
 	}
 }
 
-// process executes one scheduled node and propagates its outputs.
-func (s *step) process(w workItem) {
+// enqueueFast schedules a ready fast-path node; it owns one outstanding
+// token. Blocking kernels get private goroutines so they cannot starve the
+// shared pool; a full queue falls back to inline execution.
+func (s *step) enqueueFast(node int, ctx *ops.OpContext) {
+	s.outstanding.Add(1)
+	if s.ex.nodes[node].mayBlock {
+		go func() {
+			var rc runCtx
+			s.initCtx(&rc.ctx)
+			s.runChain(node, &rc.ctx)
+			s.finish(1)
+		}()
+		return
+	}
+	select {
+	case s.ex.queue <- poolItem{s: s, w: workItem{node: node}}:
+		s.ex.ensureWorker()
+	default:
+		// Queue full: run the chain inline rather than block. Reusing the
+		// caller's context is safe — the caller rewrites Node/Inputs/
+		// Outputs before its next kernel call.
+		s.runChain(node, ctx)
+		s.finish(1)
+	}
+}
+
+// --- slow (control-flow aware) execution -----------------------------------
+
+// enqueue schedules a frame-aware node execution; it owns one outstanding
+// token.
+func (s *step) enqueue(w workItem) {
+	s.outstanding.Add(1)
+	if s.ex.nodes[w.node].mayBlock {
+		// Blocking kernels get private goroutines so they cannot
+		// starve the compute workers (queues, Recv).
+		go func() {
+			s.process(w, nil)
+			s.finish(1)
+		}()
+		return
+	}
+	select {
+	case s.ex.queue <- poolItem{s: s, w: w}:
+		s.ex.ensureWorker()
+	default:
+		// Queue full: execute inline rather than block a worker.
+		s.process(w, nil)
+		s.finish(1)
+	}
+}
+
+// process executes one scheduled frame-aware node and propagates its
+// outputs. rc, when non-nil, supplies a reusable op context and output
+// buffer owned by the calling worker; it must be nil for reentrant calls
+// (the queue-full inline fallback) whose caller is still reading its own
+// outputs.
+func (s *step) process(w workItem, rc *runCtx) {
 	if s.aborted.Load() {
 		return
 	}
 	en := s.ex.nodes[w.node]
 
-	var inputs []ops.Value
-	if s.ex.hasCtrlFlow {
-		st := s.state(w.frame, w.iter, w.node, false)
-		if st == nil {
-			return
-		}
-		st.mu.Lock()
-		if st.done {
-			st.mu.Unlock()
-			return
-		}
-		st.done = true
-		inputs = st.inputs
-		dead := st.anyDead && !en.isMerge
-		if en.isMerge && !st.liveData {
-			dead = true
-		}
+	st := s.state(w.frame, w.iter, w.node, false)
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	if st.done {
 		st.mu.Unlock()
-		if dead {
-			s.emitDead(w, en)
-			return
-		}
-	} else {
-		inputs = s.fastInputs[w.node]
+		return
+	}
+	st.done = true
+	inputs := st.inputs
+	dead := st.anyDead && !en.isMerge
+	if en.isMerge && !st.liveData {
+		dead = true
+	}
+	st.mu.Unlock()
+	if dead {
+		s.emitDead(w, en)
+		return
 	}
 
-	outputs := make([]ops.Value, en.node.NumOutputs())
-	ctx := &ops.OpContext{
-		Node:       en.node,
-		Inputs:     inputs,
-		Outputs:    outputs,
-		Resources:  s.p.Resources,
-		Rendezvous: s.p.Rendezvous,
-		StepID:     s.p.StepID,
-		Abort:      s.abort,
+	nOut := en.node.NumOutputs()
+	var outputs []ops.Value
+	var ctx *ops.OpContext
+	if rc != nil {
+		if cap(rc.outs) < nOut {
+			rc.outs = make([]ops.Value, nOut)
+		}
+		outputs = rc.outs[:nOut]
+		clear(outputs)
+		ctx = &rc.ctx
+		s.initCtx(ctx)
+	} else {
+		outputs = make([]ops.Value, nOut)
+		ctx = &ops.OpContext{
+			Resources:  s.p.Resources,
+			Rendezvous: s.p.Rendezvous,
+			StepID:     s.p.StepID,
+			Abort:      s.abort,
+		}
 	}
+	ctx.Node = en.node
+	ctx.Inputs = inputs
+	ctx.Outputs = outputs
 	if err := en.kernel(ctx); err != nil {
 		s.fail(fmt.Errorf("exec: %s (%s): %w", en.node.Name(), en.node.Op(), err))
 		return
@@ -363,6 +461,8 @@ func (s *step) emitDead(w workItem, en *execNode) {
 
 // propagate delivers outputs and the control-completion signal to
 // consumers, applying the frame transitions of Enter/Exit/NextIteration.
+// Consumers copy the values synchronously, so callers may reuse the
+// outputs buffer after it returns.
 func (s *step) propagate(w workItem, en *execNode, outputs []ops.Value, nodeDead bool) {
 	if s.aborted.Load() {
 		return
@@ -387,16 +487,14 @@ func (s *step) propagate(w workItem, en *execNode, outputs []ops.Value, nodeDead
 	}
 
 	// Record fetches: a fetch observes the value as delivered in the root
-	// context (Exit nodes deliver into their parent frame).
-	if en.numFetchOutputs > 0 && dstFrame == s.rootFrame && dstIter == 0 {
-		s.fetchMu.Lock()
-		for fi, plan := range s.ex.fetchPlan {
-			if !plan.fed && plan.producer == w.node {
-				v := outputs[plan.outIdx]
-				s.fetched[fi] = &v
-			}
+	// context (Exit nodes deliver into their parent frame). Each slot has
+	// exactly one producer and the root-context execution is unique, so
+	// the write needs no lock.
+	if len(en.fetches) > 0 && dstFrame == s.rootFrame && dstIter == 0 {
+		for _, ft := range en.fetches {
+			s.fetched[ft.fetchIdx] = outputs[ft.outIdx]
+			s.fetchSet[ft.fetchIdx] = true
 		}
-		s.fetchMu.Unlock()
 	}
 
 	// A constant Enter's value must be visible in every iteration of its
@@ -422,7 +520,7 @@ func (s *step) propagate(w workItem, en *execNode, outputs []ops.Value, nodeDead
 
 	// The first value flowing into a new iteration re-delivers every
 	// loop-invariant constant there.
-	if en.isNextIter && s.ex.hasCtrlFlow && dstFrame != nil {
+	if en.isNextIter && dstFrame != nil {
 		s.ensureIterConstants(dstFrame, dstIter)
 	}
 
@@ -472,23 +570,6 @@ func (s *step) deliverConstTo(f *frameInstance, iter int, node int, v ops.Value)
 		s.deliverControl(f, iter, c, v.Dead)
 	}
 }
-
-// --- fast path delivery ----------------------------------------------------
-
-func (s *step) deliverFastData(c consumer, v ops.Value) {
-	s.fastInputs[c.node][c.slot] = v
-	if atomic.AddInt32(&s.fastPending[c.node], -1) == 0 {
-		s.enqueue(workItem{node: c.node})
-	}
-}
-
-func (s *step) deliverFastControl(c int) {
-	if atomic.AddInt32(&s.fastPending[c], -1) == 0 {
-		s.enqueue(workItem{node: c})
-	}
-}
-
-// --- slow (control-flow aware) delivery ------------------------------------
 
 // state returns the nodeState for (frame, iter, node), creating it when
 // create is set. Root-frame iteration 0 states are preallocated.
@@ -548,10 +629,6 @@ func (s *step) childFrame(parent *frameInstance, parentIter int, name string) *f
 }
 
 func (s *step) deliverData(f *frameInstance, iter int, c consumer, v ops.Value) {
-	if !s.ex.hasCtrlFlow {
-		s.deliverFastData(c, v)
-		return
-	}
 	en := s.ex.nodes[c.node]
 	// Values entering a loop are re-addressed to the child frame, iter 0.
 	if en.isEnter {
@@ -597,10 +674,6 @@ func (s *step) deliverData(f *frameInstance, iter int, c consumer, v ops.Value) 
 }
 
 func (s *step) deliverControl(f *frameInstance, iter int, c int, dead bool) {
-	if !s.ex.hasCtrlFlow {
-		s.deliverFastControl(c)
-		return
-	}
 	en := s.ex.nodes[c]
 	if en.isEnter {
 		f = s.childFrame(f, iter, en.enterFrame)

@@ -158,6 +158,11 @@ type Rendezvous interface {
 }
 
 // OpContext is the execution context handed to a kernel.
+//
+// The executor reuses OpContext values and their Inputs/Outputs slices
+// across node executions within a step (and across steps of one
+// executable), so kernels must not retain the context or alias its slices
+// after returning; the tensors themselves may be retained freely.
 type OpContext struct {
 	Node       *graph.Node
 	Inputs     []Value
@@ -260,28 +265,40 @@ func registerKernel(op, deviceType string, fn Kernel, blocks bool) {
 	kernels[key] = kernelEntry{fn: fn, mayBlock: blocks}
 }
 
-// LookupKernel finds the kernel for an op on a device type, falling back to
-// the CPU implementation, which every op must provide.
-func LookupKernel(op, deviceType string) (Kernel, error) {
+// lookupEntry resolves the registry entry for an op on a device type,
+// falling back to the CPU implementation, which every op must provide.
+func lookupEntry(op, deviceType string) (kernelEntry, bool) {
 	kernelMu.RLock()
 	defer kernelMu.RUnlock()
 	if e, ok := kernels[kernelKey(op, deviceType)]; ok {
-		return e.fn, nil
+		return e, true
 	}
-	if e, ok := kernels[kernelKey(op, "CPU")]; ok {
-		return e.fn, nil
+	e, ok := kernels[kernelKey(op, "CPU")]
+	return e, ok
+}
+
+// LookupKernel finds the kernel for an op on a device type.
+func LookupKernel(op, deviceType string) (Kernel, error) {
+	kernel, _, err := LookupKernelInfo(op, deviceType)
+	return kernel, err
+}
+
+// LookupKernelInfo resolves the kernel for an op on a device type together
+// with its may-block flag in a single registry access; the executor's
+// compile loop uses it so each node pays for one lock acquisition instead
+// of two.
+func LookupKernelInfo(op, deviceType string) (Kernel, bool, error) {
+	e, ok := lookupEntry(op, deviceType)
+	if !ok {
+		return nil, false, fmt.Errorf("ops: no kernel for op %s on device type %s", op, deviceType)
 	}
-	return nil, fmt.Errorf("ops: no kernel for op %s on device type %s", op, deviceType)
+	return e.fn, e.mayBlock, nil
 }
 
 // MayBlock reports whether the op's kernel can block on external events.
 func MayBlock(op string) bool {
-	kernelMu.RLock()
-	defer kernelMu.RUnlock()
-	if e, ok := kernels[kernelKey(op, "CPU")]; ok {
-		return e.mayBlock
-	}
-	return false
+	e, ok := lookupEntry(op, "CPU")
+	return ok && e.mayBlock
 }
 
 // --- shared shape-inference helpers --------------------------------------

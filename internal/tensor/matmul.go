@@ -10,7 +10,7 @@ import (
 // transposing either operand first. Shapes follow the usual contract:
 // op(a) is [m,k], op(b) is [k,n], and the result is [m,n].
 //
-// The float32 path blocks over rows and fans work out to GOMAXPROCS
+// Both float paths block over rows and fan work out to GOMAXPROCS
 // goroutines when the output is large enough to amortize the dispatch; the
 // executor relies on this for the dense layers in the example models.
 func MatMul(a, b *Tensor, transposeA, transposeB bool) (*Tensor, error) {
@@ -44,86 +44,29 @@ func MatMul(a, b *Tensor, transposeA, transposeB bool) (*Tensor, error) {
 }
 
 // matmulParallelThreshold is the output-element count above which the
-// float32 kernel shards rows across goroutines.
+// kernels shard work across goroutines.
 const matmulParallelThreshold = 64 * 64
 
-func matmulF32(dst, a, b []float32, m, k, n, lda, ldb int, ta, tb bool) {
-	loadA := func(i, p int) float32 {
-		if ta {
-			return a[p*lda+i]
-		}
-		return a[i*lda+p]
-	}
-	loadB := func(p, j int) float32 {
-		if tb {
-			return b[j*ldb+p]
-		}
-		return b[p*ldb+j]
-	}
-
-	rowRange := func(i0, i1 int) {
-		switch {
-		case !ta && !tb:
-			// Hot path: iterate k in the outer position so that the
-			// inner loop streams both B and the output row.
-			for i := i0; i < i1; i++ {
-				arow := a[i*lda : i*lda+k]
-				drow := dst[i*n : i*n+n]
-				for p := 0; p < k; p++ {
-					av := arow[p]
-					if av == 0 {
-						continue
-					}
-					brow := b[p*ldb : p*ldb+n]
-					for j := 0; j < n; j++ {
-						drow[j] += av * brow[j]
-					}
-				}
-			}
-		case !ta && tb:
-			for i := i0; i < i1; i++ {
-				arow := a[i*lda : i*lda+k]
-				drow := dst[i*n : i*n+n]
-				for j := 0; j < n; j++ {
-					brow := b[j*ldb : j*ldb+k]
-					var acc float32
-					for p := 0; p < k; p++ {
-						acc += arow[p] * brow[p]
-					}
-					drow[j] = acc
-				}
-			}
-		default:
-			for i := i0; i < i1; i++ {
-				drow := dst[i*n : i*n+n]
-				for p := 0; p < k; p++ {
-					av := loadA(i, p)
-					if av == 0 {
-						continue
-					}
-					for j := 0; j < n; j++ {
-						drow[j] += av * loadB(p, j)
-					}
-				}
-			}
-		}
-	}
-
+// shardRange fans rangeFn out over [0,count) in contiguous chunks across
+// GOMAXPROCS goroutines; work is the total output-element count used to
+// decide whether the dispatch is worth it. Too little work — or only one
+// unit to shard — runs serially.
+func shardRange(count, work int, rangeFn func(i0, i1 int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if m*n < matmulParallelThreshold || workers == 1 || m == 1 {
-		rowRange(0, m)
+	if work < matmulParallelThreshold || workers == 1 || count == 1 {
+		rangeFn(0, count)
 		return
 	}
-	if workers > m {
-		workers = m
+	if workers > count {
+		workers = count
 	}
 	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
+	chunk := (count + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		i0 := w * chunk
 		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
+		if i1 > count {
+			i1 = count
 		}
 		if i0 >= i1 {
 			break
@@ -131,41 +74,141 @@ func matmulF32(dst, a, b []float32, m, k, n, lda, ldb int, ta, tb bool) {
 		wg.Add(1)
 		go func(i0, i1 int) {
 			defer wg.Done()
-			rowRange(i0, i1)
+			rangeFn(i0, i1)
 		}(i0, i1)
 	}
 	wg.Wait()
 }
 
-func matmulF64(dst, a, b []float64, m, k, n, lda, ldb int, ta, tb bool) {
-	loadA := func(i, p int) float64 {
-		if ta {
-			return a[p*lda+i]
-		}
-		return a[i*lda+p]
-	}
-	loadB := func(p, j int) float64 {
-		if tb {
-			return b[j*ldb+p]
-		}
-		return b[p*ldb+j]
-	}
-	for i := 0; i < m; i++ {
-		drow := dst[i*n : i*n+n]
-		for p := 0; p < k; p++ {
-			av := loadA(i, p)
-			if av == 0 {
-				continue
+// matmulRowsF32 computes output rows [i0,i1) of one float32 matmul. It is
+// a plain function — no captured load closures — so every case keeps
+// direct, inlinable index arithmetic in the inner loops.
+func matmulRowsF32(dst, a, b []float32, i0, i1, k, n, lda, ldb int, ta, tb bool) {
+	switch {
+	case !ta && !tb:
+		// Hot path: iterate k in the outer position so that the
+		// inner loop streams both B and the output row.
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			drow := dst[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*ldb : p*ldb+n]
+				for j := 0; j < n; j++ {
+					drow[j] += av * brow[j]
+				}
 			}
+		}
+	case !ta && tb:
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			drow := dst[i*n : i*n+n]
 			for j := 0; j < n; j++ {
-				drow[j] += av * loadB(p, j)
+				brow := b[j*ldb : j*ldb+k]
+				var acc float32
+				for p := 0; p < k; p++ {
+					acc += arow[p] * brow[p]
+				}
+				drow[j] = acc
+			}
+		}
+	default:
+		for i := i0; i < i1; i++ {
+			drow := dst[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := a[p*lda+i] // ta is true in both remaining cases
+				if av == 0 {
+					continue
+				}
+				if tb {
+					for j := 0; j < n; j++ {
+						drow[j] += av * b[j*ldb+p]
+					}
+				} else {
+					brow := b[p*ldb : p*ldb+n]
+					for j := 0; j < n; j++ {
+						drow[j] += av * brow[j]
+					}
+				}
 			}
 		}
 	}
 }
 
+// matmulRowsF64 is the float64 twin of matmulRowsF32, with the same
+// specialized inner loops.
+func matmulRowsF64(dst, a, b []float64, i0, i1, k, n, lda, ldb int, ta, tb bool) {
+	switch {
+	case !ta && !tb:
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			drow := dst[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*ldb : p*ldb+n]
+				for j := 0; j < n; j++ {
+					drow[j] += av * brow[j]
+				}
+			}
+		}
+	case !ta && tb:
+		for i := i0; i < i1; i++ {
+			arow := a[i*lda : i*lda+k]
+			drow := dst[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				brow := b[j*ldb : j*ldb+k]
+				var acc float64
+				for p := 0; p < k; p++ {
+					acc += arow[p] * brow[p]
+				}
+				drow[j] = acc
+			}
+		}
+	default:
+		for i := i0; i < i1; i++ {
+			drow := dst[i*n : i*n+n]
+			for p := 0; p < k; p++ {
+				av := a[p*lda+i]
+				if av == 0 {
+					continue
+				}
+				if tb {
+					for j := 0; j < n; j++ {
+						drow[j] += av * b[j*ldb+p]
+					}
+				} else {
+					brow := b[p*ldb : p*ldb+n]
+					for j := 0; j < n; j++ {
+						drow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+func matmulF32(dst, a, b []float32, m, k, n, lda, ldb int, ta, tb bool) {
+	shardRange(m, m*n, func(i0, i1 int) {
+		matmulRowsF32(dst, a, b, i0, i1, k, n, lda, ldb, ta, tb)
+	})
+}
+
+func matmulF64(dst, a, b []float64, m, k, n, lda, ldb int, ta, tb bool) {
+	shardRange(m, m*n, func(i0, i1 int) {
+		matmulRowsF64(dst, a, b, i0, i1, k, n, lda, ldb, ta, tb)
+	})
+}
+
 // BatchMatMul multiplies two rank-3 tensors batch-wise: [b,m,k] x [b,k,n] →
-// [b,m,n].
+// [b,m,n]. Batches are independent, so the work is sharded across
+// goroutines at the batch level; each batch runs the serial per-matrix
+// kernel, avoiding nested fan-out.
 func BatchMatMul(a, b *Tensor) (*Tensor, error) {
 	if a.Rank() != 3 || b.Rank() != 3 {
 		return nil, fmt.Errorf("tensor: BatchMatMul needs rank-3 inputs, got %v and %v", a.shape, b.shape)
@@ -178,18 +221,21 @@ func BatchMatMul(a, b *Tensor) (*Tensor, error) {
 	}
 	batch, m, k, n := a.shape[0], a.shape[1], a.shape[2], b.shape[2]
 	out := New(a.dtype, Shape{batch, m, n})
-	for i := 0; i < batch; i++ {
-		if a.dtype == Float32 {
-			matmulF32(out.Float32s()[i*m*n:(i+1)*m*n],
-				a.Float32s()[i*m*k:(i+1)*m*k],
-				b.Float32s()[i*k*n:(i+1)*k*n],
-				m, k, n, k, n, false, false)
-		} else {
-			matmulF64(out.Float64s()[i*m*n:(i+1)*m*n],
-				a.Float64s()[i*m*k:(i+1)*m*k],
-				b.Float64s()[i*k*n:(i+1)*k*n],
-				m, k, n, k, n, false, false)
+	batchRange := func(b0, b1 int) {
+		for i := b0; i < b1; i++ {
+			if a.dtype == Float32 {
+				matmulRowsF32(out.Float32s()[i*m*n:(i+1)*m*n],
+					a.Float32s()[i*m*k:(i+1)*m*k],
+					b.Float32s()[i*k*n:(i+1)*k*n],
+					0, m, k, n, k, n, false, false)
+			} else {
+				matmulRowsF64(out.Float64s()[i*m*n:(i+1)*m*n],
+					a.Float64s()[i*m*k:(i+1)*m*k],
+					b.Float64s()[i*k*n:(i+1)*k*n],
+					0, m, k, n, k, n, false, false)
+			}
 		}
 	}
+	shardRange(batch, batch*m*n, batchRange)
 	return out, nil
 }

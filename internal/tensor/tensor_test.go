@@ -996,3 +996,105 @@ func TestFillAndScalarHelpers(t *testing.T) {
 		t.Error("ScalarOf wrong")
 	}
 }
+
+func TestMatMulF64TransposedVariants(t *testing.T) {
+	rng := NewRNG(3)
+	// op(a) is [4,5], op(b) is [5,6] in every transpose combination; every
+	// variant must agree with the plain product.
+	a := rng.Uniform(Float64, Shape{4, 5}, -1, 1)
+	b := rng.Uniform(Float64, Shape{5, 6}, -1, 1)
+	want, err := MatMul(a, b, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aT, err := Transpose(a, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bT, err := Transpose(b, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		x, y   *Tensor
+		ta, tb bool
+	}{
+		{"ta", aT, b, true, false},
+		{"tb", a, bT, false, true},
+		{"ta-tb", aT, bT, true, true},
+	}
+	for _, c := range cases {
+		got, err := MatMul(c.x, c.y, c.ta, c.tb)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for i := 0; i < want.NumElements(); i++ {
+			if math.Abs(got.FloatAt(i)-want.FloatAt(i)) > 1e-9 {
+				t.Fatalf("%s diverges at %d: %g vs %g", c.name, i, got.FloatAt(i), want.FloatAt(i))
+			}
+		}
+	}
+}
+
+func TestMatMulF64LargeParallelMatchesSerial(t *testing.T) {
+	// Big enough to cross matmulParallelThreshold and exercise the float64
+	// row-sharded fan-out.
+	rng := NewRNG(5)
+	a := rng.Uniform(Float64, Shape{91, 47}, -1, 1)
+	b := rng.Uniform(Float64, Shape{47, 73}, -1, 1)
+	got, err := MatMul(a, b, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(Float64, Shape{91, 73})
+	for i := 0; i < 91; i++ {
+		for p := 0; p < 47; p++ {
+			av := a.Float64s()[i*47+p]
+			for j := 0; j < 73; j++ {
+				ref.Float64s()[i*73+j] += av * b.Float64s()[p*73+j]
+			}
+		}
+	}
+	for i := 0; i < ref.NumElements(); i++ {
+		if math.Abs(got.FloatAt(i)-ref.FloatAt(i)) > 1e-9 {
+			t.Fatalf("parallel f64 matmul diverges at %d: %g vs %g", i, got.FloatAt(i), ref.FloatAt(i))
+		}
+	}
+}
+
+func TestBatchMatMulParallelMatchesSerial(t *testing.T) {
+	// A batch large enough to cross the parallel threshold at the batch
+	// level; every batch is checked against an independent serial product.
+	const batch, m, k, n = 16, 9, 11, 13
+	for _, dt := range []DType{Float32, Float64} {
+		rng := NewRNG(7)
+		a := rng.Uniform(dt, Shape{batch, m, k}, -1, 1)
+		b := rng.Uniform(dt, Shape{batch, k, n}, -1, 1)
+		out, err := BatchMatMul(a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", dt, err)
+		}
+		if !out.Shape().Equal(Shape{batch, m, n}) {
+			t.Fatalf("%v: shape %v", dt, out.Shape())
+		}
+		for bi := 0; bi < batch; bi++ {
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					var acc float64
+					for p := 0; p < k; p++ {
+						acc += a.FloatAt(bi*m*k+i*k+p) * b.FloatAt(bi*k*n+p*n+j)
+					}
+					got := out.FloatAt(bi*m*n + i*n + j)
+					tol := 1e-3
+					if dt == Float64 {
+						tol = 1e-9
+					}
+					if math.Abs(got-acc) > tol {
+						t.Fatalf("%v batch %d (%d,%d): %g vs %g", dt, bi, i, j, got, acc)
+					}
+				}
+			}
+		}
+	}
+}

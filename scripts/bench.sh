@@ -1,0 +1,48 @@
+#!/bin/sh
+# Benchmark harness: runs the root benchmark suite (one iteration per
+# benchmark unless overridden) as a compile/run smoke gate, and records a
+# machine-readable snapshot of the headline numbers the ROADMAP tracks —
+# executor op dispatch rate, end-to-end training-step time, distributed
+# step time, and MatMul GFLOPS.
+#
+# Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
+#   benchtime     go -benchtime value (default 1x: smoke gate)
+#   output        JSON snapshot path (default BENCH_PR3.json)
+#   benchpattern  -bench regexp (default ".": whole suite); use a subset
+#                 with a longer benchtime to refresh the snapshot stably
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-1x}"
+OUT="${2:-BENCH_PR3.json}"
+PATTERN="${3:-.}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
+
+# Fields are emitted only when their benchmark actually ran, so a
+# subset-pattern refresh never writes zeros over the snapshot.
+awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+  /^BenchmarkExecutorNullOps/ {
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "Mops/s") mops = $i
+  }
+  /^BenchmarkTrainingStep/    { train_ns = $3 }
+  /^BenchmarkDistributedStep/ { dist_ns = $3 }
+  /^BenchmarkMatMul\/256x256/ {
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops = $i
+  }
+  END {
+    n = 0
+    lines[n++] = sprintf("  \"date\": \"%s\"", date)
+    lines[n++] = sprintf("  \"benchtime\": \"%s\"", benchtime)
+    if (cpu != "")      lines[n++] = sprintf("  \"cpu\": \"%s\"", cpu)
+    if (mops != "")     lines[n++] = sprintf("  \"executor_null_ops_mops_per_s\": %s", mops)
+    if (train_ns != "") lines[n++] = sprintf("  \"training_step_ns\": %s", train_ns)
+    if (dist_ns != "")  lines[n++] = sprintf("  \"distributed_step_ns\": %s", dist_ns)
+    if (gflops != "")   lines[n++] = sprintf("  \"matmul_256x256_gflops\": %s", gflops)
+    printf "{\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
+    printf "}\n"
+  }' "$TMP" > "$OUT"
+echo "bench snapshot written to $OUT"

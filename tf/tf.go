@@ -252,9 +252,12 @@ func (s *Session) Core() *core.Session { return s.s }
 // fetched outputs return in order. Concurrent Runs execute as concurrent
 // steps over shared state (§3.2).
 func (s *Session) Run(feeds map[Output]*Tensor, fetches []Output, targets ...*Operation) ([]*Tensor, error) {
-	f := make(map[graph.Endpoint]*tensor.Tensor, len(feeds))
-	for o, t := range feeds {
-		f[o.ep] = t
+	var f map[graph.Endpoint]*tensor.Tensor
+	if len(feeds) > 0 {
+		f = make(map[graph.Endpoint]*tensor.Tensor, len(feeds))
+		for o, t := range feeds {
+			f[o.ep] = t
+		}
 	}
 	eps := make([]graph.Endpoint, len(fetches))
 	for i, o := range fetches {
