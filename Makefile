@@ -34,7 +34,7 @@ race-hot:
 	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/...
 
 # Full benchmark pass: runs every root benchmark once and refreshes the
-# committed BENCH_PR3.json snapshot (pass BENCHTIME=2s for stable numbers).
+# committed BENCH_PR4.json snapshot (pass BENCHTIME=2s for stable numbers).
 BENCHTIME ?= 1x
 bench:
 	scripts/bench.sh $(BENCHTIME)

@@ -200,6 +200,52 @@ func BenchmarkTrainingStep(b *testing.B) {
 	}
 }
 
+// BenchmarkWhileTrainingStep measures an end-to-end training step through
+// control flow (§4.1, §3.4): an 8-iteration tf.While recurrence
+// s ← tanh(s·W) with a squared-error loss and an SGD update. The step runs
+// the forward loop (with stack pushes saving intermediates), the backward
+// loop (stack pops, invariant accumulation) and the variable write — the
+// workload class the frame-aware executor path and its pooled per-frame
+// state exist for.
+func BenchmarkWhileTrainingStep(b *testing.B) {
+	g := tf.NewGraph()
+	g.SetSeed(1)
+	x := g.Placeholder("x", tf.Float32, tf.Shape{8, 16})
+	w := g.NewVariableFromTensor("w", tf.NewRNG(3).Uniform(tf.Float32, tf.Shape{16, 16}, -0.3, 0.3))
+	wVal := w.Value()
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(8))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{
+				g.Add(vars[0], g.Const(int32(1))),
+				g.Tanh(g.MatMul(vars[1], wVal)),
+			}
+		},
+	)
+	loss := g.Mean(g.Square(outs[1]), nil, false)
+	opt := &train.GradientDescent{LearningRate: 0.05}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		b.Fatal(err)
+	}
+	xs := tf.NewRNG(1).Uniform(tf.Float32, tf.Shape{8, 16}, -1, 1)
+	feeds := map[tf.Output]*tf.Tensor{x: xs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(feeds, nil, trainOp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDistributedStep measures a cross-task step on the real
 // in-process cluster: parameters on a PS task, compute on a worker,
 // Send/Recv through the rendezvous.

@@ -103,4 +103,101 @@ func main() {
 	}
 	fmt.Printf("final full-softmax loss: %.4f (uniform-predictor baseline ln(%d) = %.4f)\n",
 		out[0].FloatAt(0), vocab, math.Log(vocab))
+
+	trainBPTTWhile(corpus)
+}
+
+// trainBPTTWhile trains the same next-token task with the recurrence inside
+// the dataflow graph (§3.4, §4.1): a truncated-BPTT window runs as a
+// tf.While loop whose body applies one tanh-RNN step and accumulates the
+// per-timestep cross-entropy, and the gradient is the automatically built
+// backward loop — stack-saved intermediates, trip-count-driven — rather
+// than a statically unrolled chain. Contrast with the static unrolling in
+// main above: the graph here is O(1) in the window length.
+func trainBPTTWhile(corpus []int32) {
+	const (
+		bpttHidden = 48
+		bpttSteps  = 60
+	)
+	g := tf.NewGraph()
+	g.SetSeed(7)
+
+	emb := g.NewVariableFromTensor("bptt/embedding",
+		tf.NewRNG(21).Uniform(tf.Float32, tf.Shape{vocab, embedDim}, -0.1, 0.1))
+	wxh := g.NewVariableFromTensor("bptt/wxh",
+		tf.NewRNG(22).Uniform(tf.Float32, tf.Shape{embedDim, bpttHidden}, -0.2, 0.2))
+	whh := g.NewVariableFromTensor("bptt/whh",
+		tf.NewRNG(23).Uniform(tf.Float32, tf.Shape{bpttHidden, bpttHidden}, -0.2, 0.2))
+	bh := g.NewVariableFromTensor("bptt/bh", tf.NewTensor(tf.Float32, tf.Shape{bpttHidden}))
+	wsm := g.NewVariableFromTensor("bptt/wsm",
+		tf.NewRNG(24).Uniform(tf.Float32, tf.Shape{bpttHidden, vocab}, -0.2, 0.2))
+	bsm := g.NewVariableFromTensor("bptt/bsm", tf.NewTensor(tf.Float32, tf.Shape{vocab}))
+
+	inputs := g.Placeholder("bptt/inputs", tf.Int32, tf.Shape{batch, unroll})
+	targets := g.Placeholder("bptt/targets", tf.Int32, tf.Shape{batch, unroll})
+
+	// Embed the whole window outside the loop (sparse reads, §4.2), then
+	// pack it [unroll, batch, embedDim] so the body can Gather timestep t.
+	embVal, wxhVal, whhVal, bhVal, wsmVal, bsmVal :=
+		emb.Value(), wxh.Value(), whh.Value(), bh.Value(), wsm.Value(), bsm.Value()
+	var stepsIn []tf.Output
+	for s := 0; s < unroll; s++ {
+		ids := g.Squeeze(g.Slice(inputs, []int{0, s}, []int{batch, 1}), 1)
+		stepsIn = append(stepsIn, g.Gather(embVal, ids))
+	}
+	xseq := g.Pack(stepsIn...)                // [unroll, batch, embedDim]
+	tseq := g.Transpose(targets, []int{1, 0}) // [unroll, batch]
+	h0 := g.Const(tf.NewTensor(tf.Float32, tf.Shape{batch, bpttHidden}))
+	zeroLoss := g.Const(float32(0))
+
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), h0, zeroLoss},
+		[]tf.Output{xseq, tseq},
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(unroll))) },
+		func(vars, invs []tf.Output) []tf.Output {
+			t, h, lossAcc := vars[0], vars[1], vars[2]
+			xt := g.Gather(invs[0], t)  // [batch, embedDim]
+			tgt := g.Gather(invs[1], t) // [batch]
+			h = g.Tanh(g.Add(g.Add(g.MatMul(xt, wxhVal), g.MatMul(h, whhVal)), bhVal))
+			logits := g.Add(g.MatMul(h, wsmVal), bsmVal)
+			ce := g.Mean(g.SparseSoftmaxCrossEntropy(logits, tgt), nil, false)
+			return []tf.Output{g.Add(t, g.Const(int32(1))), h, g.Add(lossAcc, ce)}
+		},
+	)
+	meanLoss := g.Mul(outs[2], g.Const(float32(1.0/unroll)))
+
+	vars := []*tf.Variable{emb, wxh, whh, bh, wsm, bsm}
+	opt := &train.Adagrad{LearningRate: 0.3}
+	trainOp, err := opt.Minimize(g, meanLoss, vars)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntraining tanh-RNN LM by truncated BPTT through tf.While (window %d)\n", unroll)
+	var first, last float64
+	for step := 0; step < bpttSteps; step++ {
+		in, tgt := nn.LMBatch(corpus, step*batch*unroll, batch, unroll)
+		feeds := map[tf.Output]*tf.Tensor{inputs: in, targets: tgt}
+		out, err := sess.Run(feeds, []tf.Output{meanLoss}, trainOp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last = out[0].FloatAt(0)
+		if step == 0 {
+			first = last
+		}
+		if step%15 == 0 {
+			fmt.Printf("bptt step %3d  loss %.4f\n", step, last)
+		}
+	}
+	fmt.Printf("bptt final loss %.4f (started %.4f, uniform baseline %.4f)\n",
+		last, first, math.Log(vocab))
 }

@@ -10,10 +10,21 @@
 // subgraph. Gradients of sparse reads (Gather) stay sparse — an
 // (indices, values) pair — so optimizers can apply ScatterAdd-style updates
 // that touch only the gathered rows (§4.2).
+//
+// Control flow is differentiable too (§4.1, §3.4). Conditionals rewrite to
+// their dual: the gradient of a Merge is a Switch on the same predicate and
+// vice versa, with zeros injected for the untaken branch (grads.go). Loops
+// are handled by a frame-aware traversal: nodes are grouped by the
+// control-flow frame recorded at construction, and when the backward sweep
+// has collected the gradients of every Exit of a frame it builds one
+// backward loop that runs the body's vector-Jacobian product in reverse,
+// driven by the forward trip count and fed by stack-saved intermediates
+// (loopgrad.go).
 package autodiff
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/build"
@@ -68,6 +79,53 @@ func lookupGradient(op string) (Func, bool) {
 	defer gradMu.RUnlock()
 	f, ok := gradFuncs[op]
 	return f, ok
+}
+
+// applyNodeGrad dispatches the registered gradient function of n and checks
+// the arity contract. Both the top-level sweep and the loop-body sweep go
+// through it.
+func applyNodeGrad(b *build.B, n *graph.Node, outGrads []Grad) ([]Grad, error) {
+	gf, ok := lookupGradient(n.Op())
+	if !ok {
+		return nil, fmt.Errorf("autodiff: no gradient registered for op %s (node %s)", n.Op(), n.Name())
+	}
+	inGrads, err := gf(b, n, outGrads)
+	if err != nil {
+		return nil, fmt.Errorf("autodiff: gradient of %s (%s): %w", n.Name(), n.Op(), err)
+	}
+	if err := b.Err(); err != nil {
+		return nil, fmt.Errorf("autodiff: building gradient of %s: %w", n.Name(), err)
+	}
+	if len(inGrads) != n.NumInputs() {
+		return nil, fmt.Errorf("autodiff: gradient of %s returned %d input grads for %d inputs",
+			n.Op(), len(inGrads), n.NumInputs())
+	}
+	return inGrads, nil
+}
+
+// sweepState bundles the accumulation state of one Gradients call so the
+// loop-gradient builder can route its results back into the main sweep.
+type sweepState struct {
+	b         *build.B
+	g         *graph.Graph
+	between   graph.NodeSet
+	consumers map[graph.Endpoint][]graph.Endpoint
+	pending   map[graph.Endpoint][]Grad
+	xSet      map[graph.Endpoint]bool
+	result    map[graph.Endpoint]Grad
+}
+
+// addPending records a gradient contribution for ep if it can still matter:
+// either ep's producer is on a path to the requested xs, or ep itself is a
+// requested x.
+func (s *sweepState) addPending(ep graph.Endpoint, gr Grad) {
+	if gr.IsZero() {
+		return
+	}
+	if !s.between[ep.Node.ID()] && !s.xSet[ep] {
+		return
+	}
+	s.pending[ep] = append(s.pending[ep], gr)
 }
 
 // Gradients builds ∂sum(ys)/∂xs. gradYs optionally seeds the output
@@ -130,39 +188,79 @@ func Gradients(g *graph.Graph, ys, xs []graph.Endpoint, gradYs []graph.Endpoint)
 		}
 	}
 
-	// Accumulated gradient contributions per endpoint.
-	pending := map[graph.Endpoint][]Grad{}
+	// Differentiation endpoints inside a loop frame are not supported: only
+	// Exit values (delivered into the enclosing frame) may serve as ys/xs.
+	for _, y := range ys {
+		if f := graph.NodeFrame(y.Node); f != "" && y.Node.Op() != "Exit" {
+			return nil, fmt.Errorf("autodiff: cannot differentiate %s: node %s executes inside loop frame %s; differentiate its Exit value instead",
+				y, y.Node.Name(), f)
+		}
+	}
+	for _, x := range xs {
+		if f := graph.NodeFrame(x.Node); f != "" && x.Node.Op() != "Exit" {
+			return nil, fmt.Errorf("autodiff: cannot differentiate w.r.t. %s: node %s executes inside loop frame %s",
+				x, x.Node.Name(), f)
+		}
+	}
+
+	// Recover the static structure of every loop frame the sweep will cross.
+	frames, err := collectFrames(g, between, consumers)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &sweepState{
+		b:         b,
+		g:         g,
+		between:   between,
+		consumers: consumers,
+		pending:   map[graph.Endpoint][]Grad{},
+		xSet:      map[graph.Endpoint]bool{},
+		result:    map[graph.Endpoint]Grad{},
+	}
+	for _, x := range xs {
+		s.xSet[x] = true
+	}
 	for i, y := range ys {
 		if !between[y.Node.ID()] {
 			continue
 		}
 		if len(gradYs) > 0 {
-			pending[y] = append(pending[y], DenseGrad(gradYs[i]))
+			s.pending[y] = append(s.pending[y], DenseGrad(gradYs[i]))
 		} else {
-			pending[y] = append(pending[y], DenseGrad(b.OnesLike(y)))
+			s.pending[y] = append(s.pending[y], DenseGrad(b.OnesLike(y)))
 		}
 	}
 
-	order, err := graph.TopoSort(g, between)
+	// Frame-free graphs (the common case) take the plain topological sort;
+	// only loops need the supernode contraction.
+	var order []*graph.Node
+	if len(frames) == 0 {
+		order, err = graph.TopoSort(g, between)
+	} else {
+		order, err = frameGroupedOrder(g, between)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("autodiff: %w (differentiating through loops is not supported)", err)
+		return nil, err
 	}
-
-	// xs may be mid-graph endpoints; capture their sums before their
-	// producers consume the pending entries.
-	xSet := map[graph.Endpoint]bool{}
-	for _, x := range xs {
-		xSet[x] = true
-	}
-	result := map[graph.Endpoint]Grad{}
 
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
+		if fname := graph.NodeFrame(n); fname != "" {
+			li := frames[fname]
+			if li == nil {
+				return nil, fmt.Errorf("autodiff: internal: no loop info for frame %s (node %s)", fname, n.Name())
+			}
+			if err := li.visit(s, n); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		outGrads := make([]Grad, n.NumOutputs())
 		any := false
 		for o := 0; o < n.NumOutputs(); o++ {
 			ep := n.Out(o)
-			sum, err := sumGrads(b, pending[ep])
+			sum, err := sumGrads(b, s.pending[ep])
 			if err != nil {
 				return nil, err
 			}
@@ -170,10 +268,10 @@ func Gradients(g *graph.Graph, ys, xs []graph.Endpoint, gradYs []graph.Endpoint)
 			if !sum.IsZero() {
 				any = true
 			}
-			if xSet[ep] {
-				result[ep] = sum
+			if s.xSet[ep] {
+				s.result[ep] = sum
 			}
-			delete(pending, ep)
+			delete(s.pending, ep)
 		}
 		if !any || n.NumInputs() == 0 {
 			continue
@@ -181,43 +279,22 @@ func Gradients(g *graph.Graph, ys, xs []graph.Endpoint, gradYs []graph.Endpoint)
 		if n.Op() == "StopGradient" || n.Op() == "PreventGradient" {
 			continue
 		}
-		gf, ok := lookupGradient(n.Op())
-		if !ok {
-			return nil, fmt.Errorf("autodiff: no gradient registered for op %s (node %s)", n.Op(), n.Name())
-		}
-		inGrads, err := gf(b, n, outGrads)
+		inGrads, err := applyNodeGrad(b, n, outGrads)
 		if err != nil {
-			return nil, fmt.Errorf("autodiff: gradient of %s (%s): %w", n.Name(), n.Op(), err)
-		}
-		if b.Err() != nil {
-			return nil, fmt.Errorf("autodiff: building gradient of %s: %w", n.Name(), b.Err())
-		}
-		if len(inGrads) != n.NumInputs() {
-			return nil, fmt.Errorf("autodiff: gradient of %s returned %d input grads for %d inputs",
-				n.Op(), len(inGrads), n.NumInputs())
+			return nil, err
 		}
 		for ii, gIn := range inGrads {
-			if gIn.IsZero() {
-				continue
-			}
-			in := n.Input(ii)
-			if !between[in.Node.ID()] {
-				if xSet[in] {
-					pending[in] = append(pending[in], gIn)
-				}
-				continue
-			}
-			pending[in] = append(pending[in], gIn)
+			s.addPending(n.Input(ii), gIn)
 		}
 	}
 
 	out := make([]Grad, len(xs))
 	for i, x := range xs {
-		if gr, ok := result[x]; ok {
+		if gr, ok := s.result[x]; ok {
 			out[i] = gr
 			continue
 		}
-		sum, err := sumGrads(b, pending[x])
+		sum, err := sumGrads(b, s.pending[x])
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +304,81 @@ func Gradients(g *graph.Graph, ys, xs []graph.Endpoint, gradYs []graph.Endpoint)
 		return nil, b.Err()
 	}
 	return out, nil
+}
+
+// frameGroupedOrder returns the between-set nodes in a topological order
+// that keeps each loop frame contiguous: every frame is contracted to one
+// supernode before sorting, so the reverse sweep sees all consumers of a
+// loop's Exits before any of the loop's nodes, and every producer feeding
+// the loop after all of them. A flat order cannot guarantee this — an
+// invariant's producer may sort between a frame's Exits.
+func frameGroupedOrder(g *graph.Graph, set graph.NodeSet) ([]*graph.Node, error) {
+	// Group key: frame name for frame members, unique per-node key otherwise.
+	groupOf := func(n *graph.Node) string {
+		if f := graph.NodeFrame(n); f != "" {
+			return "f:" + f
+		}
+		return fmt.Sprintf("n:%09d", n.ID())
+	}
+	members := map[string][]*graph.Node{}
+	indeg := map[string]int{}
+	succ := map[string][]string{}
+	edge := map[[2]string]bool{}
+	for _, n := range g.Nodes() {
+		if !set[n.ID()] {
+			continue
+		}
+		gk := groupOf(n)
+		members[gk] = append(members[gk], n)
+		if _, ok := indeg[gk]; !ok {
+			indeg[gk] = 0
+		}
+		deps := make([]*graph.Node, 0, n.NumInputs()+len(n.ControlInputs()))
+		for _, in := range n.Inputs() {
+			deps = append(deps, in.Node)
+		}
+		deps = append(deps, n.ControlInputs()...)
+		for _, d := range deps {
+			if !set[d.ID()] || d.Op() == "NextIteration" {
+				continue
+			}
+			dk := groupOf(d)
+			if dk == gk || edge[[2]string{dk, gk}] {
+				continue
+			}
+			edge[[2]string{dk, gk}] = true
+			indeg[gk]++
+			succ[dk] = append(succ[dk], gk)
+		}
+	}
+	queue := make([]string, 0, len(indeg))
+	for k, d := range indeg {
+		if d == 0 {
+			queue = append(queue, k)
+		}
+	}
+	sort.Strings(queue)
+	var order []*graph.Node
+	done := 0
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		done++
+		ms := members[k]
+		sort.Slice(ms, func(i, j int) bool { return ms[i].ID() < ms[j].ID() })
+		order = append(order, ms...)
+		for _, sk := range succ[k] {
+			indeg[sk]--
+			if indeg[sk] == 0 {
+				queue = append(queue, sk)
+			}
+		}
+	}
+	if done != len(indeg) {
+		return nil, fmt.Errorf("autodiff: cycle across control-flow frames (%d of %d groups ordered); nested or mutually dependent loops cannot be differentiated",
+			done, len(indeg))
+	}
+	return order, nil
 }
 
 // sumGrads combines the contributions of every backward path into one

@@ -2,22 +2,25 @@ package autodiff
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/build"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // gradCheck builds y = fn(x) for a placeholder x, computes dy/dx with
-// Gradients, and compares against central differences at the given point.
+// Gradients, and verifies it against central differences at the given point
+// through the shared checker.
 func gradCheck(t *testing.T, name string, shape tensor.Shape, point *tensor.Tensor,
 	fn func(b *build.B, x graph.Endpoint) graph.Endpoint, tol float64) {
 	t.Helper()
 	g := graph.New()
 	b := build.New(g)
-	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": shape})
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": point.DType(), "shape": shape})
 	y := fn(b, x.Out(0))
 	if b.Err() != nil {
 		t.Fatalf("%s: building forward graph: %v", name, b.Err())
@@ -29,43 +32,33 @@ func gradCheck(t *testing.T, name string, shape tensor.Shape, point *tensor.Tens
 	if grads[0].IsZero() {
 		t.Fatalf("%s: got zero gradient", name)
 	}
-	gb := build.New(g)
-	dxEp, err := Densify(gb, grads[0])
+	dxEp, err := Densify(build.New(g), grads[0])
 	if err != nil {
 		t.Fatalf("%s: densify: %v", name, err)
 	}
 
 	sess := core.NewSession(g, core.Options{})
-	eval := func(at *tensor.Tensor, ep graph.Endpoint) float64 {
-		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
-		if err != nil {
-			t.Fatalf("%s: run: %v", name, err)
-		}
-		sum := 0.0
-		for i := 0; i < out[0].NumElements(); i++ {
-			sum += out[0].FloatAt(i)
-		}
-		return sum
-	}
-
-	analytic, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{dxEp}, nil)
-	if err != nil {
-		t.Fatalf("%s: run gradient: %v", name, err)
-	}
-	const eps = 1e-6
-	for i := 0; i < point.NumElements(); i++ {
-		orig := point.FloatAt(i)
-		point.SetFloat(i, orig+eps)
-		up := eval(point, y)
-		point.SetFloat(i, orig-eps)
-		dn := eval(point, y)
-		point.SetFloat(i, orig)
-		numeric := (up - dn) / (2 * eps)
-		got := analytic[0].FloatAt(i)
-		if math.Abs(got-numeric) > tol*(1+math.Abs(numeric)) {
-			t.Errorf("%s: grad[%d] = %g, numeric %g", name, i, got, numeric)
-		}
-	}
+	testutil.GradCheck{
+		Eval: func(at *tensor.Tensor) (float64, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{y}, nil)
+			if err != nil {
+				return 0, err
+			}
+			sum := 0.0
+			for i := 0; i < out[0].NumElements(); i++ {
+				sum += out[0].FloatAt(i)
+			}
+			return sum, nil
+		},
+		Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{dxEp}, nil)
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		},
+		Tol: tol,
+	}.Run(t, name, point)
 }
 
 func TestGradUnaryOps(t *testing.T) {
@@ -288,30 +281,23 @@ func TestGradConvAndPool(t *testing.T) {
 	}
 	sess := core.NewSession(g, core.Options{})
 	point := tensor.NewRNG(3).Uniform(tensor.Float32, shape, -1, 1)
-	run := func(at *tensor.Tensor, ep graph.Endpoint) float64 {
-		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return out[0].FloatAt(0)
-	}
-	analytic, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): point}, []graph.Endpoint{grads[0].Dense}, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const eps = 1e-2
-	for i := 0; i < point.NumElements(); i++ {
-		orig := point.FloatAt(i)
-		point.SetFloat(i, orig+eps)
-		up := run(point, loss)
-		point.SetFloat(i, orig-eps)
-		dn := run(point, loss)
-		point.SetFloat(i, orig)
-		numeric := (up - dn) / (2 * eps)
-		if math.Abs(analytic[0].FloatAt(i)-numeric) > 5e-2 {
-			t.Errorf("conv grad[%d] = %g, numeric %g", i, analytic[0].FloatAt(i), numeric)
-		}
-	}
+	// float32 point: the checker picks the coarse step/tolerance for it.
+	testutil.GradCheck{
+		Eval: func(at *tensor.Tensor) (float64, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{loss}, nil)
+			if err != nil {
+				return 0, err
+			}
+			return out[0].FloatAt(0), nil
+		},
+		Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{grads[0].Dense}, nil)
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		},
+	}.Run(t, "ConvPool", point)
 }
 
 func TestGradMultiplePathsAreSummed(t *testing.T) {
@@ -392,7 +378,11 @@ func TestGradSeededGradYs(t *testing.T) {
 	}
 }
 
-func TestGradControlFlowIsRejected(t *testing.T) {
+// TestGradManualSwitchMergeIsDifferentiable covers the structural fallback
+// of the Merge gradient: a hand-built Switch→Merge identity conditional
+// (no tf.Cond metadata) differentiates because both Merge inputs come from
+// one Switch, whose predicate input names the condition.
+func TestGradManualSwitchMergeIsDifferentiable(t *testing.T) {
 	g := graph.New()
 	b := build.New(g)
 	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.ScalarShape()})
@@ -402,9 +392,45 @@ func TestGradControlFlowIsRejected(t *testing.T) {
 	if b.Err() != nil {
 		t.Fatal(b.Err())
 	}
+	grads, err := Gradients(g, []graph.Endpoint{m.Out(0)}, []graph.Endpoint{x.Out(0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grads[0].IsZero() {
+		t.Fatal("identity conditional should carry gradient")
+	}
+	sess := core.NewSession(g, core.Options{})
+	out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{
+		x.Out(0): tensor.FromFloat64s(tensor.ScalarShape(), []float64{4}),
+	}, []graph.Endpoint{grads[0].Dense}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].FloatAt(0) != 1 {
+		t.Errorf("d merge/dx = %v, want 1 (identity)", out[0])
+	}
+}
+
+// TestGradMergeWithoutPredicateIsRejected keeps the no-silent-wrong-values
+// contract: a Merge whose predicate cannot be recovered (no Cond metadata,
+// inputs from distinct producers) must fail with an error naming the node.
+func TestGradMergeWithoutPredicateIsRejected(t *testing.T) {
+	g := graph.New()
+	b := build.New(g)
+	x := b.Node("Placeholder", nil, "x", map[string]any{"dtype": tensor.Float64, "shape": tensor.ScalarShape()})
+	pred := b.Const(tensor.ScalarBool(true))
+	sw := b.Node("Switch", []graph.Endpoint{x.Out(0), pred}, "", nil)
+	other := b.Neg(x.Out(0))
+	m := b.Node("Merge", []graph.Endpoint{sw.Out(0), other}, "mystery_merge", nil)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
 	_, err := Gradients(g, []graph.Endpoint{m.Out(0)}, []graph.Endpoint{x.Out(0)}, nil)
 	if err == nil {
-		t.Fatal("differentiating through Switch/Merge should be rejected")
+		t.Fatal("Merge without a recoverable predicate should be rejected")
+	}
+	if !strings.Contains(err.Error(), "mystery_merge") {
+		t.Errorf("error should name the offending node: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/tensor"
+	"repro/internal/testutil"
 )
 
 // TestGradCompositeModelFiniteDifference drives MatMul, Mul, Sum and Gather
@@ -54,28 +55,22 @@ func TestGradCompositeModelFiniteDifference(t *testing.T) {
 		1.2, -0.4, 0.9,
 		0.05, 0.7, -1.3,
 	})
-	run := func(at *tensor.Tensor, ep graph.Endpoint) *tensor.Tensor {
-		out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{ep}, nil)
-		if err != nil {
-			t.Fatalf("run: %v", err)
-		}
-		return out[0]
-	}
-	analytic := run(point, dx)
-	const eps = 1e-6
-	for i := 0; i < point.NumElements(); i++ {
-		orig := point.FloatAt(i)
-		point.SetFloat(i, orig+eps)
-		up := run(point, loss).FloatAt(0)
-		point.SetFloat(i, orig-eps)
-		dn := run(point, loss).FloatAt(0)
-		point.SetFloat(i, orig)
-		numeric := (up - dn) / (2 * eps)
-		got := analytic.FloatAt(i)
-		if math.Abs(got-numeric) > 1e-4*(1+math.Abs(numeric)) {
-			t.Errorf("grad[%d] = %g, numeric %g", i, got, numeric)
-		}
-	}
+	testutil.GradCheck{
+		Eval: func(at *tensor.Tensor) (float64, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{loss}, nil)
+			if err != nil {
+				return 0, err
+			}
+			return out[0].FloatAt(0), nil
+		},
+		Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{x.Out(0): at}, []graph.Endpoint{dx}, nil)
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		},
+	}.Run(t, "CompositeModel", point)
 }
 
 // TestGradientNodesCarryScope verifies that every node emitted by the
@@ -174,21 +169,25 @@ func TestGradSparseGatherThroughBuilder(t *testing.T) {
 		}
 		return out[0]
 	}
-	analytic := run(point, dg)
-	const eps = 1e-6
-	for i := 0; i < point.NumElements(); i++ {
-		orig := point.FloatAt(i)
-		point.SetFloat(i, orig+eps)
-		up := run(point, loss).FloatAt(0)
-		point.SetFloat(i, orig-eps)
-		dn := run(point, loss).FloatAt(0)
-		point.SetFloat(i, orig)
-		numeric := (up - dn) / (2 * eps)
-		if math.Abs(analytic.FloatAt(i)-numeric) > 1e-6*(1+math.Abs(numeric)) {
-			t.Errorf("grad[%d] = %g, numeric %g", i, analytic.FloatAt(i), numeric)
-		}
-	}
+	testutil.GradCheck{
+		Eval: func(at *tensor.Tensor) (float64, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{params.Out(0): at}, []graph.Endpoint{loss}, nil)
+			if err != nil {
+				return 0, err
+			}
+			return out[0].FloatAt(0), nil
+		},
+		Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+			out, err := sess.Run(map[graph.Endpoint]*tensor.Tensor{params.Out(0): at}, []graph.Endpoint{dg}, nil)
+			if err != nil {
+				return nil, err
+			}
+			return out[0], nil
+		},
+		Tol: 1e-6,
+	}.Run(t, "SparseGather", point)
 	// Row 1 gathered twice with weights 2 and 11 → 13; row 3 once → 5.
+	analytic := run(point, dg)
 	want := []float64{0, 0, 13, 13, 0, 0, 5, 5}
 	for i, w := range want {
 		if math.Abs(analytic.FloatAt(i)-w) > 1e-9 {

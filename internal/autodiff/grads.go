@@ -19,6 +19,11 @@ func zeroGrads(n int) []Grad { return make([]Grad, n) }
 // that produced it. When the static shapes already agree this is the
 // identity; otherwise SumToShape performs the runtime reduction.
 func sumToLike(b *build.B, g, operand graph.Endpoint) Grad {
+	if g.Node == nil || operand.Node == nil {
+		// An upstream builder call already failed (the error is sticky on
+		// b); stay inert instead of dereferencing the zero endpoint.
+		return Grad{}
+	}
 	gs, os := g.Shape(), operand.Shape()
 	if gs.IsFullyDefined() && os.IsFullyDefined() && gs.Equal(os) {
 		return DenseGrad(g)
@@ -36,7 +41,10 @@ func registerStandardGradients() {
 		return []Grad{out[0]}, nil
 	}
 	RegisterGradient("Identity", passthrough)
-	RegisterGradient("LoopCond", passthrough)
+	// LoopCond carries a boolean: nothing differentiable flows through it.
+	RegisterGradient("LoopCond", func(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {
+		return zeroGrads(1), nil
+	})
 
 	// Read's input is a variable reference; the gradient stops there —
 	// optimizers consume the gradient w.r.t. the Read output.
@@ -49,7 +57,7 @@ func registerStandardGradients() {
 		"Shape", "Size", "Rank", "ArgMax", "OneHot", "Equal", "NotEqual",
 		"Less", "LessEqual", "Greater", "GreaterEqual", "LogicalAnd",
 		"LogicalOr", "LogicalNot", "Floor", "Ceil", "Sign", "InTopK",
-		"ZerosLike",
+		"ZerosLike", "OnesLike",
 	} {
 		nInputs := 1
 		switch op {
@@ -585,16 +593,138 @@ func registerStandardGradients() {
 		return []Grad{DenseGrad(b.Op("MaxPoolGrad", []graph.Endpoint{n.Input(0), g}, attrs))}, nil
 	})
 
-	// Conditional and iterative gradients are an extension in the paper
-	// (§4.1); this implementation documents them as unsupported rather
-	// than producing silently wrong values.
-	for _, op := range []string{"Switch", "Merge", "Enter", "Exit", "NextIteration"} {
+	// Conditional gradients (§4.1, §3.4): the backward of a conditional is
+	// its dual on the same predicate — the gradient of a Merge is a Switch
+	// and the gradient of a Switch is a Merge, with zeros injected for the
+	// branch that contributed nothing. Deadness does the pruning at run
+	// time: the untaken branch's gradient arrives dead and the backward
+	// Merge forwards the live one.
+	RegisterGradient("Switch", switchGrad)
+	RegisterGradient("Merge", mergeGrad)
+
+	// While-loop primitives are differentiated as whole frames by the
+	// loop-gradient builder (loopgrad.go); gradient reaching one of these
+	// directly means the loop lacks the tf.While metadata, and a wrong
+	// answer would be silent — so fail naming the node.
+	for _, op := range []string{"Enter", "Exit", "NextIteration"} {
 		opName := op
 		RegisterGradient(op, func(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {
-			return nil, fmt.Errorf("differentiating through %s (control flow) is not supported; "+
-				"restructure with Select or compute branch gradients separately", opName)
+			return nil, fmt.Errorf("%s node %s carries no loop metadata (hand-built loop?); "+
+				"only loops built by tf.While are differentiable", opName, n.Name())
 		})
 	}
+}
+
+// switchGrad: dL/d(data) = Merge(grad_false, grad_true) on the same
+// predicate. A branch without a contribution gets a predicate-gated zero so
+// exactly one Merge input is live whichever way the forward step branched.
+func switchGrad(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {
+	if n.Input(1).Node.Op() == "LoopCond" {
+		return nil, fmt.Errorf("while-loop Switch %s cannot be differentiated directly; "+
+			"gradients flow through the loop's Exit values", n.Name())
+	}
+	pred := n.Input(1)
+	var fEp, tEp graph.Endpoint
+	var err error
+	if !out[0].IsZero() {
+		if fEp, err = Densify(b, out[0]); err != nil {
+			return nil, err
+		}
+	}
+	if !out[1].IsZero() {
+		if tEp, err = Densify(b, out[1]); err != nil {
+			return nil, err
+		}
+	}
+	if fEp.Node == nil || tEp.Node == nil {
+		z := b.Node("Switch", []graph.Endpoint{b.ZerosLike(n.Input(0)), pred}, "cond_grad/zeros", nil)
+		if z == nil {
+			return nil, b.Err()
+		}
+		if fEp.Node == nil {
+			fEp = z.Out(0)
+		}
+		if tEp.Node == nil {
+			tEp = z.Out(1)
+		}
+	}
+	// Record the predicate like tf.Cond does, so the backward conditional
+	// is itself differentiable (second-order gradients).
+	m := b.Node("Merge", []graph.Endpoint{fEp, tEp}, "cond_grad/merge", map[string]any{
+		graph.CondPredAttr:      pred.Node.Name(),
+		graph.CondPredIndexAttr: pred.Index,
+	})
+	if m == nil {
+		return nil, b.Err()
+	}
+	return []Grad{DenseGrad(m.Out(0)), {}}, nil
+}
+
+// mergeGrad: dL/d(input i) = Switch(grad, pred) output i — the gradient
+// flows only into the branch that actually produced the merged value.
+func mergeGrad(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {
+	if f := graph.NodeFrame(n); f != "" {
+		return nil, fmt.Errorf("while-loop Merge %s (frame %s) cannot be differentiated directly; "+
+			"gradients flow through the loop's Exit values", n.Name(), f)
+	}
+	for _, in := range n.Inputs() {
+		if in.Node.Op() == "NextIteration" {
+			return nil, fmt.Errorf("Merge %s closes a loop back edge and cannot be differentiated directly", n.Name())
+		}
+	}
+	if out[0].IsZero() {
+		// Only the value_index output (non-differentiable) carried grad.
+		return zeroGrads(n.NumInputs()), nil
+	}
+	if n.NumInputs() != 2 {
+		return nil, fmt.Errorf("Merge %s has %d inputs; only two-way conditionals are differentiable", n.Name(), n.NumInputs())
+	}
+	g, err := Densify(b, out[0])
+	if err != nil {
+		return nil, err
+	}
+	pred, err := mergePred(b, n)
+	if err != nil {
+		return nil, err
+	}
+	sw := b.Node("Switch", []graph.Endpoint{g, pred}, "cond_grad/switch", nil)
+	if sw == nil {
+		return nil, b.Err()
+	}
+	// Input order follows the Cond convention: input 0 is the false-branch
+	// value, input 1 the true-branch value.
+	return []Grad{DenseGrad(sw.Out(0)), DenseGrad(sw.Out(1))}, nil
+}
+
+// mergePred recovers the predicate that gated a conditional Merge: from the
+// metadata tf.Cond records, or structurally when both inputs come straight
+// from one Switch.
+func mergePred(b *build.B, n *graph.Node) (graph.Endpoint, error) {
+	if name := n.AttrString(graph.CondPredAttr, ""); name != "" {
+		pn := b.Graph().ByName(name)
+		if pn == nil {
+			return graph.Endpoint{}, fmt.Errorf("Merge %s records predicate %q which is not in the graph", n.Name(), name)
+		}
+		return pn.Out(n.AttrInt(graph.CondPredIndexAttr, 0)), nil
+	}
+	var sw *graph.Node
+	for _, in := range n.Inputs() {
+		if in.Node.Op() != "Switch" {
+			sw = nil
+			break
+		}
+		if sw == nil {
+			sw = in.Node
+		} else if sw != in.Node {
+			sw = nil
+			break
+		}
+	}
+	if sw != nil {
+		return sw.Input(1), nil
+	}
+	return graph.Endpoint{}, fmt.Errorf("Merge %s records no predicate (not built by Cond) and its inputs "+
+		"do not come from a single Switch; cannot differentiate", n.Name())
 }
 
 func minMaxGrad(b *build.B, n *graph.Node, out []Grad, cmpOp string) ([]Grad, error) {

@@ -203,12 +203,16 @@ func (d *Device) Name() string { return d.spec.String() }
 func (d *Device) Resources() *ResourceManager { return d.resources }
 
 // ResourceManager owns the stateful objects (variables, queues, RNG
-// streams) that live on one device and persist across steps (§3.2).
+// streams, gradient stacks) that live on one device and persist across
+// steps (§3.2). Stacks are the exception to persistence: the kernels key
+// them by step and drop them when drained, so they live only from a step's
+// forward loop to its backward loop.
 type ResourceManager struct {
 	mu     sync.Mutex
 	vars   map[string]*ops.Variable
 	queues map[string]queue.Queue
 	rngs   map[string]*tensor.RNG
+	stacks map[string]*ops.Stack
 }
 
 // NewResourceManager creates an empty resource manager.
@@ -217,6 +221,7 @@ func NewResourceManager() *ResourceManager {
 		vars:   make(map[string]*ops.Variable),
 		queues: make(map[string]queue.Queue),
 		rngs:   make(map[string]*tensor.RNG),
+		stacks: make(map[string]*ops.Stack),
 	}
 }
 
@@ -256,6 +261,51 @@ func (m *ResourceManager) RNG(name string, seed int64) *tensor.RNG {
 	return g
 }
 
+// FindOrCreateStack implements ops.StackResources.
+func (m *ResourceManager) FindOrCreateStack(name string) *ops.Stack {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.stacks[name]; ok {
+		return s
+	}
+	s := &ops.Stack{}
+	m.stacks[name] = s
+	return s
+}
+
+// DropStack implements ops.StackResources.
+func (m *ResourceManager) DropStack(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.stacks, name)
+}
+
+// DropStepStacks implements ops.StackResources: it removes every stack the
+// given step created, so a failed or aborted step cannot leak its saved
+// forward intermediates for the life of the device.
+func (m *ResourceManager) DropStepStacks(stepID int64) {
+	suffix := ops.StackStepSuffix(stepID)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name := range m.stacks {
+		if strings.HasSuffix(name, suffix) {
+			delete(m.stacks, name)
+		}
+	}
+}
+
+// StackNames returns the names of the live (undrained) stacks; tests use it
+// to assert backward loops consume everything their forward loops saved.
+func (m *ResourceManager) StackNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.stacks))
+	for name := range m.stacks {
+		out = append(out, name)
+	}
+	return out
+}
+
 // VariableNames returns the names of all live variables (for checkpoints
 // and tests).
 func (m *ResourceManager) VariableNames() []string {
@@ -278,4 +328,5 @@ func (m *ResourceManager) Reset() {
 	}
 	m.queues = make(map[string]queue.Queue)
 	m.rngs = make(map[string]*tensor.RNG)
+	m.stacks = make(map[string]*ops.Stack)
 }

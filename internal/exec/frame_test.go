@@ -1,0 +1,236 @@
+package exec_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	_ "repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// buildLoopGraph hand-builds the frame skeleton of `while (v < limit) v +=
+// 1` around a fed initial value: Enter → Merge → Switch(LoopCond) →
+// {Exit, body Add} → NextIteration, with the limit and increment captured
+// through constant Enters (delivered per iteration, as tf.While does). The
+// body threads `depth` extra Identity nodes so the per-iteration state the
+// frame-aware path manages is wider than a single node.
+func buildLoopGraph(t *testing.T, limit float32, depth int) (*graph.Graph, graph.Endpoint, graph.Endpoint) {
+	t.Helper()
+	g := graph.New()
+	x := addNode(t, g, "Placeholder", nil, graph.NodeArgs{
+		Name: "x", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	enter := addNode(t, g, "Enter", []graph.Endpoint{x.Out(0)}, graph.NodeArgs{
+		Name: "loop/enter", Attrs: map[string]any{"frame_name": "loop"},
+	})
+	merge := addNode(t, g, "Merge", []graph.Endpoint{enter.Out(0)}, graph.NodeArgs{Name: "loop/merge"})
+	limitC := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "limit", Attrs: map[string]any{"value": tensor.Scalar(limit)},
+	})
+	limitEnter := addNode(t, g, "Enter", []graph.Endpoint{limitC.Out(0)}, graph.NodeArgs{
+		Name: "loop/limit", Attrs: map[string]any{"frame_name": "loop", "is_constant": true},
+	})
+	oneC := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "one", Attrs: map[string]any{"value": tensor.Scalar(1)},
+	})
+	oneEnter := addNode(t, g, "Enter", []graph.Endpoint{oneC.Out(0)}, graph.NodeArgs{
+		Name: "loop/one", Attrs: map[string]any{"frame_name": "loop", "is_constant": true},
+	})
+	pred := addNode(t, g, "Less", []graph.Endpoint{merge.Out(0), limitEnter.Out(0)}, graph.NodeArgs{})
+	loopCond := addNode(t, g, "LoopCond", []graph.Endpoint{pred.Out(0)}, graph.NodeArgs{})
+	sw := addNode(t, g, "Switch", []graph.Endpoint{merge.Out(0), loopCond.Out(0)}, graph.NodeArgs{})
+	exit := addNode(t, g, "Exit", []graph.Endpoint{sw.Out(0)}, graph.NodeArgs{})
+	cur := sw.Out(1)
+	for i := 0; i < depth; i++ {
+		cur = addNode(t, g, "Identity", []graph.Endpoint{cur}, graph.NodeArgs{}).Out(0)
+	}
+	body := addNode(t, g, "Add", []graph.Endpoint{cur, oneEnter.Out(0)}, graph.NodeArgs{})
+	next := addNode(t, g, "NextIteration", []graph.Endpoint{body.Out(0)}, graph.NodeArgs{})
+	if err := g.AddBackEdge(merge, next.Out(0)); err != nil {
+		t.Fatal(err)
+	}
+	return g, x.Out(0), exit.Out(0)
+}
+
+// loopResult mirrors the loop on the host: v += 1 until v >= limit.
+func loopResult(x, limit float32) float32 {
+	for x < limit {
+		x++
+	}
+	return x
+}
+
+// TestFramePathConcurrentStepsIsolate hammers one frame-aware Executable
+// with concurrent steps over distinct feeds and StepIDs, interleaved with
+// externally aborted steps. Pooled frame instances, iteration maps and node
+// states must never leak loop state between steps; run it under -race (the
+// CI gate does) to catch unsynchronized reuse.
+func TestFramePathConcurrentStepsIsolate(t *testing.T) {
+	g, feedEP, fetchEP := buildLoopGraph(t, 10, 2)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	const goroutines = 16
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Distinct fractional feeds give every step a distinct exit
+				// value and a trip count of 5-10 iterations.
+				feed := float32(r%6) + float32(gi)/float32(goroutines+1)
+				want := loopResult(feed, 10)
+				p := exec.RunParams{
+					FeedValues: []*tensor.Tensor{tensor.Scalar(feed)},
+					Resources:  rm,
+					StepID:     int64(gi*rounds + r + 1),
+				}
+				if r%5 == 4 {
+					abort := make(chan struct{})
+					close(abort)
+					p.Abort = abort
+					// A pre-closed abort may still lose the race with a fast
+					// step; only a wrong value is a leak.
+					if out, err := ex.Run(p); err == nil {
+						if got := out[0].FloatAt(0); got != float64(want) {
+							select {
+							case errs <- fmt.Errorf("aborted step %d: exit %v, want %v (cross-step leak)", p.StepID, got, want):
+							default:
+							}
+							return
+						}
+					}
+					continue
+				}
+				out, err := ex.Run(p)
+				if err != nil {
+					select {
+					case errs <- fmt.Errorf("step %d: %v", p.StepID, err):
+					default:
+					}
+					return
+				}
+				if got := out[0].FloatAt(0); got != float64(want) {
+					select {
+					case errs <- fmt.Errorf("step %d: exit %v, want %v (cross-step leak)", p.StepID, got, want):
+					default:
+					}
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestFramePathSequentialReuse checks back-to-back frame-aware steps on one
+// executable — the training-loop shape that exercises recycled frame state
+// the hardest — with feeds (and so trip counts) changing every iteration.
+func TestFramePathSequentialReuse(t *testing.T) {
+	g, feedEP, fetchEP := buildLoopGraph(t, 10, 1)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	for i := 0; i < 150; i++ {
+		feed := float32(i%9) + 0.25
+		want := loopResult(feed, 10)
+		out, err := ex.Run(exec.RunParams{
+			FeedValues: []*tensor.Tensor{tensor.Scalar(feed)},
+			Resources:  rm,
+			StepID:     int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[0].FloatAt(0); got != float64(want) {
+			t.Fatalf("iteration %d: exit %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestFramePathStepAllocations pins the frame-aware path's steady-state
+// allocation behavior, mirroring TestFastPathStepAllocations: with pooled
+// steps and recycled frame instances / iteration maps / node states, the
+// per-node-execution allocation count must stay small and flat. Before the
+// recycling (PR 4) this graph allocated one nodeState + inputs slice per
+// node execution plus fresh maps per iteration — ~5 allocs per node
+// execution; recycled steady state measures well under 2.
+func TestFramePathStepAllocations(t *testing.T) {
+	const depth = 16
+	const limit = 32 // iterations per step
+	g, feedEP, fetchEP := buildLoopGraph(t, limit, depth)
+	ex, err := exec.Compile(g, []graph.Endpoint{feedEP}, []graph.Endpoint{fetchEP}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	p := exec.RunParams{FeedValues: []*tensor.Tensor{tensor.Scalar(0)}, Resources: rm, StepID: 1}
+	for i := 0; i < 4; i++ {
+		if _, err := ex.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Executions inside the frame per step: every iteration runs the loop
+	// skeleton plus the Identity chain; this is the denominator the budget
+	// is quoted against (exact node count matters less than staying flat).
+	nodeExecs := float64(limit * (depth + 8))
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := ex.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perExec := avg / nodeExecs
+	t.Logf("allocs/run = %.1f over ~%d node executions (%.3f allocs/exec)", avg, int(nodeExecs), perExec)
+	if perExec > 2.0 {
+		t.Errorf("frame-path step allocates %.3f allocs/node-execution (budget 2.0): per-iteration garbage crept back in", perExec)
+	}
+}
+
+// TestFailedStepDropsItsStacks: a step that pushes onto gradient stacks and
+// then fails must not leak the pushed tensors — the executor drops the
+// step's stacks on the error path (a backward loop that never ran cannot
+// drain them).
+func TestFailedStepDropsItsStacks(t *testing.T) {
+	g := graph.New()
+	v := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "v", Attrs: map[string]any{"value": tensor.Scalar(1)},
+	})
+	tok := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "tok", Attrs: map[string]any{"value": tensor.ScalarInt(0)},
+	})
+	push := addNode(t, g, "StackPush", []graph.Endpoint{v.Out(0), tok.Out(0)}, graph.NodeArgs{
+		Attrs: map[string]any{"stack": "saved"},
+	})
+	// After the push, fail the step deterministically: gather an
+	// out-of-range index (the push output sequences the gather after it).
+	params := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "params", Attrs: map[string]any{"value": tensor.FromFloat32s(tensor.Shape{1, 1}, []float32{1})},
+	})
+	bad := addNode(t, g, "Gather", []graph.Endpoint{params.Out(0), push.Out(0)}, graph.NodeArgs{})
+	ex, err := exec.Compile(g, nil, []graph.Endpoint{bad.Out(0)}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := device.NewResourceManager()
+	if _, err := ex.Run(exec.RunParams{Resources: rm, StepID: 42}); err == nil {
+		t.Fatal("step with out-of-range gather should fail")
+	}
+	if names := rm.StackNames(); len(names) != 0 {
+		t.Errorf("failed step leaked stacks: %v", names)
+	}
+}

@@ -106,48 +106,32 @@ func (ex *Executable) workerLoop() {
 // steps come from the executable's pool and are reset in place: the
 // pending counters are copied from the compile-time prototype, the value
 // arenas were cleared on release, and the fed tensors are written into
-// their precomputed arena slots. Frame-aware steps are built per Run.
+// their precomputed arena slots. Frame-aware steps are pooled too: the
+// dense root states are reset in place and the dynamic per-iteration state
+// recycles through the step's freelists (see recycleFrame), so a training
+// loop over a while-loop model stops paying per-step rebuild costs.
 func (ex *Executable) getStep(p RunParams) *step {
-	if ex.hasCtrlFlow {
-		s := &step{
-			ex:       ex,
-			p:        p,
-			fetched:  make([]ops.Value, len(ex.fetches)),
-			fetchSet: make([]bool, len(ex.fetches)),
-			abort:    make(chan struct{}),
-			done:     make(chan struct{}),
-		}
-		s.rootFrame = &frameInstance{
-			iters:     map[int]map[int]*nodeState{},
-			constants: map[int]ops.Value{},
-			children:  map[string]*frameInstance{},
-		}
-		s.rootStates = make([]*nodeState, len(ex.nodes))
-		for i, en := range ex.nodes {
-			st := &nodeState{
-				inputs:     make([]ops.Value, len(en.inputs)),
-				pending:    en.initialPending,
-				ctlPending: en.initialCtl,
-			}
-			for slot, src := range en.inputs {
-				if src.fed {
-					st.inputs[slot] = ops.Value{Tensor: p.FeedValues[src.feedIdx]}
-				}
-			}
-			s.rootStates[i] = st
-		}
-		return s
-	}
 	s, _ := ex.stepPool.Get().(*step)
 	if s == nil {
 		n := len(ex.nodes)
-		s = &step{
-			ex:          ex,
-			fastPending: make([]int32, n),
-			inArena:     make([]ops.Value, ex.inOff[n]),
-			outArena:    make([]ops.Value, ex.outOff[n]),
-			fetched:     make([]ops.Value, len(ex.fetches)),
-			fetchSet:    make([]bool, len(ex.fetches)),
+		s = &step{ex: ex,
+			fetched:  make([]ops.Value, len(ex.fetches)),
+			fetchSet: make([]bool, len(ex.fetches)),
+		}
+		if ex.hasCtrlFlow {
+			s.rootFrame = &frameInstance{
+				iters:     map[int]map[int]*nodeState{},
+				constants: map[int]ops.Value{},
+				children:  map[string]*frameInstance{},
+			}
+			s.rootStates = make([]*nodeState, n)
+			for i := range s.rootStates {
+				s.rootStates[i] = &nodeState{} // resetState below sizes the inputs
+			}
+		} else {
+			s.fastPending = make([]int32, n)
+			s.inArena = make([]ops.Value, ex.inOff[n])
+			s.outArena = make([]ops.Value, ex.outOff[n])
 		}
 	} else {
 		s.errOnce = sync.Once{}
@@ -157,6 +141,12 @@ func (ex *Executable) getStep(p RunParams) *step {
 	s.p = p
 	s.abort = make(chan struct{})
 	s.done = make(chan struct{})
+	if ex.hasCtrlFlow {
+		for i, en := range ex.nodes {
+			s.resetState(s.rootStates[i], en)
+		}
+		return s
+	}
 	copy(s.fastPending, ex.initPending)
 	for _, fs := range ex.feedSlots {
 		s.inArena[fs.arenaIdx] = ops.Value{Tensor: p.FeedValues[fs.feedIdx]}
@@ -167,15 +157,20 @@ func (ex *Executable) getStep(p RunParams) *step {
 // putStep releases a step back to the pool. By the time Run calls it the
 // step has fully quiesced: the outstanding-token count reached zero (no
 // queued or in-flight work references it) and the abort forwarder has been
-// joined. Clearing the arenas here both drops tensor references promptly
-// and hands the next borrower a zeroed state.
+// joined. Clearing the arenas and recycling the frame structures here both
+// drops tensor references promptly and hands the next borrower a zeroed
+// state.
 func (ex *Executable) putStep(s *step) {
-	if ex.hasCtrlFlow {
-		return // frame-aware steps are per-Run; let the GC take them
-	}
 	s.p = RunParams{}
-	clear(s.inArena)
-	clear(s.outArena)
+	if ex.hasCtrlFlow {
+		s.recycleFrame(s.rootFrame)
+		for _, st := range s.rootStates {
+			clear(st.inputs[:cap(st.inputs)])
+		}
+	} else {
+		clear(s.inArena)
+		clear(s.outArena)
+	}
 	clear(s.fetched)
 	clear(s.fetchSet)
 	ex.stepPool.Put(s)

@@ -75,6 +75,12 @@ func (ex *Executable) Run(p RunParams) ([]*tensor.Tensor, error) {
 	}
 	ex.putStep(s)
 	if err != nil {
+		// A failed or aborted step may have left gradient stacks pushed but
+		// never popped (§4.1); drop them so the device does not accumulate
+		// saved intermediates across failed steps.
+		if sr, ok := p.Resources.(ops.StackResources); ok {
+			sr.DropStepStacks(p.StepID)
+		}
 		return nil, err
 	}
 	return out, nil
@@ -141,7 +147,10 @@ type workItem struct {
 // step is the per-Run execution state. Fast-path steps (no control flow)
 // are pooled and arena-backed: all input/output values live in two flat
 // slices laid out at compile time, and resetting a recycled step is a
-// couple of copies and clears. Frame-aware steps are allocated per Run.
+// couple of copies and clears. Frame-aware steps are pooled too: the root
+// states are reset in place and the dynamic per-frame structures (frame
+// instances, iteration maps, node states) are recycled through the step's
+// freelists instead of being rebuilt per Run.
 type step struct {
 	ex *Executable
 	p  RunParams
@@ -155,6 +164,14 @@ type step struct {
 	// Slow path: dense root states + dynamic loop frames.
 	rootStates []*nodeState
 	rootFrame  *frameInstance
+
+	// Freelists recycling the frame path's dynamic allocations across steps
+	// (guarded by freeMu: producers run under per-frame locks, which do not
+	// order freelist access).
+	freeMu    sync.Mutex
+	frameFree []*frameInstance
+	stateFree []*nodeState
+	iterFree  []map[int]*nodeState
 
 	// fetched[i] is written by the unique producer of fetch i (lock-free:
 	// slots are preassigned at compile time); fetchSet marks delivery.
@@ -572,7 +589,8 @@ func (s *step) deliverConstTo(f *frameInstance, iter int, node int, v ops.Value)
 }
 
 // state returns the nodeState for (frame, iter, node), creating it when
-// create is set. Root-frame iteration 0 states are preallocated.
+// create is set. Root-frame iteration 0 states are preallocated; everything
+// else recycles through the step's freelists.
 func (s *step) state(f *frameInstance, iter int, node int, create bool) *nodeState {
 	if f == s.rootFrame && iter == 0 {
 		return s.rootStates[node]
@@ -584,7 +602,7 @@ func (s *step) state(f *frameInstance, iter int, node int, create bool) *nodeSta
 		if !create {
 			return nil
 		}
-		iterMap = map[int]*nodeState{}
+		iterMap = s.newIterMap()
 		f.iters[iter] = iterMap
 	}
 	st, ok := iterMap[node]
@@ -592,20 +610,62 @@ func (s *step) state(f *frameInstance, iter int, node int, create bool) *nodeSta
 		if !create {
 			return nil
 		}
-		en := s.ex.nodes[node]
-		st = &nodeState{
-			inputs:     make([]ops.Value, len(en.inputs)),
-			pending:    en.initialPending,
-			ctlPending: en.initialCtl,
-		}
-		for slot, src := range en.inputs {
-			if src.fed {
-				st.inputs[slot] = ops.Value{Tensor: s.p.FeedValues[src.feedIdx]}
-			}
-		}
+		st = s.newNodeState(s.ex.nodes[node])
 		iterMap[node] = st
 	}
 	return st
+}
+
+// newNodeState takes a node state off the freelist (or allocates one) and
+// initializes it for en.
+func (s *step) newNodeState(en *execNode) *nodeState {
+	s.freeMu.Lock()
+	var st *nodeState
+	if n := len(s.stateFree); n > 0 {
+		st = s.stateFree[n-1]
+		s.stateFree = s.stateFree[:n-1]
+	}
+	s.freeMu.Unlock()
+	if st == nil {
+		st = &nodeState{}
+	}
+	s.resetState(st, en)
+	return st
+}
+
+// resetState initializes st for en at the start of its (step, iteration)
+// life: counters from the compile-time prototype, flags cleared, fed
+// inputs written. It is the single reset point shared by pooled root
+// states and recycled per-iteration states, so a future nodeState field
+// cannot be reset on one path and leak through the other.
+func (s *step) resetState(st *nodeState, en *execNode) {
+	if cap(st.inputs) < len(en.inputs) {
+		st.inputs = make([]ops.Value, len(en.inputs))
+	} else {
+		st.inputs = st.inputs[:len(en.inputs)]
+	}
+	st.pending = en.initialPending
+	st.ctlPending = en.initialCtl
+	st.anyDead, st.liveData = false, false
+	st.deadData = 0
+	st.scheduled, st.done = false, false
+	for slot, src := range en.inputs {
+		if src.fed {
+			st.inputs[slot] = ops.Value{Tensor: s.p.FeedValues[src.feedIdx]}
+		}
+	}
+}
+
+// newIterMap recycles a cleared iteration map or allocates one.
+func (s *step) newIterMap() map[int]*nodeState {
+	s.freeMu.Lock()
+	defer s.freeMu.Unlock()
+	if n := len(s.iterFree); n > 0 {
+		m := s.iterFree[n-1]
+		s.iterFree = s.iterFree[:n-1]
+		return m
+	}
+	return map[int]*nodeState{}
 }
 
 // childFrame finds or creates the frame instance for an Enter consumer.
@@ -616,16 +676,48 @@ func (s *step) childFrame(parent *frameInstance, parentIter int, name string) *f
 	if f, ok := parent.children[key]; ok {
 		return f
 	}
-	f := &frameInstance{
-		name:       name,
-		parent:     parent,
-		parentIter: parentIter,
-		iters:      map[int]map[int]*nodeState{},
-		constants:  map[int]ops.Value{},
-		children:   map[string]*frameInstance{},
+	s.freeMu.Lock()
+	var f *frameInstance
+	if n := len(s.frameFree); n > 0 {
+		f = s.frameFree[n-1]
+		s.frameFree = s.frameFree[:n-1]
 	}
+	s.freeMu.Unlock()
+	if f == nil {
+		f = &frameInstance{
+			iters:     map[int]map[int]*nodeState{},
+			constants: map[int]ops.Value{},
+			children:  map[string]*frameInstance{},
+		}
+	}
+	f.name = name
+	f.parent = parent
+	f.parentIter = parentIter
 	parent.children[key] = f
 	return f
+}
+
+// recycleFrame returns a quiesced frame's dynamic state to the freelists:
+// node states (with their value references dropped), iteration maps, child
+// frames, and finally the frame itself when it is not the root. Called only
+// between steps, after the owning step has fully completed.
+func (s *step) recycleFrame(f *frameInstance) {
+	for _, child := range f.children {
+		s.recycleFrame(child)
+		s.frameFree = append(s.frameFree, child)
+	}
+	clear(f.children)
+	for _, iterMap := range f.iters {
+		for _, st := range iterMap {
+			clear(st.inputs[:cap(st.inputs)])
+			s.stateFree = append(s.stateFree, st)
+		}
+		clear(iterMap)
+		s.iterFree = append(s.iterFree, iterMap)
+	}
+	clear(f.iters)
+	clear(f.constants)
+	clear(f.constDone)
 }
 
 func (s *step) deliverData(f *frameInstance, iter int, c consumer, v ops.Value) {

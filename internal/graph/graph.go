@@ -90,6 +90,36 @@ func (n *Node) OutSpec(i int) IOSpec { return n.outSpecs[i] }
 // groups alongside reference-edge colocation.
 const ColocationAttr = "_colocate"
 
+// Control-flow metadata attributes (§3.4, §4.1). The construction layer
+// (tf.Cond / tf.While via build.FrameScope) records them so the gradient
+// builder can recover the structure of conditionals and loops without
+// re-deriving it from the wiring.
+const (
+	// FrameAttr names the loop frame a node executes in. Enter nodes carry
+	// their frame in the "frame_name" attribute instead (their input lives
+	// in the parent frame); use NodeFrame for the uniform view.
+	FrameAttr = "_frame"
+	// CondPredAttr (with CondPredIndexAttr) records, on a Merge built by a
+	// conditional, the node name and output index of the predicate that
+	// gated the matching Switches.
+	CondPredAttr      = "_cond_pred"
+	CondPredIndexAttr = "_cond_pred_index"
+	// LoopCounterAttr marks the Enter (and Exit) of the hidden trip-count
+	// counter a While loop threads alongside the user's loop variables; the
+	// gradient builder follows the marked Enter's wiring to the Exit whose
+	// value is the forward trip count.
+	LoopCounterAttr = "_loop_counter"
+)
+
+// NodeFrame returns the name of the control-flow frame n executes in, or ""
+// for nodes in the root frame. Enter nodes report the frame they push into.
+func NodeFrame(n *Node) string {
+	if n.Op() == "Enter" {
+		return n.AttrString("frame_name", "")
+	}
+	return n.AttrString(FrameAttr, "")
+}
+
 // Colocation returns the node's explicit colocation hints (node names), or
 // nil.
 func (n *Node) Colocation() []string {
@@ -106,6 +136,11 @@ func (n *Node) SetDevice(d string) { n.device = d }
 
 // Attr returns the named attribute value, or nil.
 func (n *Node) Attr(key string) any { return n.attrs[key] }
+
+// SetAttr records an attribute after construction. It exists for metadata
+// stamped by graph rewrites (control-flow frames, gradient bookkeeping);
+// attributes consumed by shape inference must be present at AddNode time.
+func (n *Node) SetAttr(key string, v any) { n.attrs[key] = v }
 
 // AttrNames returns the node's attribute keys in sorted order.
 func (n *Node) AttrNames() []string {

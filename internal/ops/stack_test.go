@@ -1,0 +1,162 @@
+package ops_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// fakeStackResources implements only the stack half of the resource
+// surface, recording drops.
+type fakeStackResources struct {
+	ops.Resources // nil embedding: variable/queue/rng methods unused here
+	stacks        map[string]*ops.Stack
+	dropped       []string
+}
+
+func newFakeStackResources() *fakeStackResources {
+	return &fakeStackResources{stacks: map[string]*ops.Stack{}}
+}
+
+func (f *fakeStackResources) FindOrCreateStack(name string) *ops.Stack {
+	if s, ok := f.stacks[name]; ok {
+		return s
+	}
+	s := &ops.Stack{}
+	f.stacks[name] = s
+	return s
+}
+
+func (f *fakeStackResources) DropStack(name string) {
+	delete(f.stacks, name)
+	f.dropped = append(f.dropped, name)
+}
+
+func (f *fakeStackResources) DropStepStacks(stepID int64) {
+	suffix := ops.StackStepSuffix(stepID)
+	for name := range f.stacks {
+		if strings.HasSuffix(name, suffix) {
+			f.DropStack(name)
+		}
+	}
+}
+
+// stackNodes builds one StackPush and one StackPop wired the way the
+// gradient builder emits them, and returns their compiled kernels' contexts.
+func stackContexts(t *testing.T, res ops.Resources, stepID int64) (push, pop *ops.OpContext) {
+	t.Helper()
+	g := graph.New()
+	val, err := g.AddNode("Placeholder", nil, graph.NodeArgs{
+		Name: "v", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := g.AddNode("Const", nil, graph.NodeArgs{
+		Name: "tok", Attrs: map[string]any{"value": tensor.ScalarInt(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN, err := g.AddNode("StackPush", []graph.Endpoint{val.Out(0), tok.Out(0)}, graph.NodeArgs{
+		Attrs: map[string]any{"stack": "s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	popN, err := g.AddNode("StackPop", []graph.Endpoint{tok.Out(0)}, graph.NodeArgs{
+		Attrs: map[string]any{"stack": "s", "dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push = &ops.OpContext{Node: pushN, Inputs: make([]ops.Value, 2), Outputs: make([]ops.Value, 1), Resources: res, StepID: stepID}
+	pop = &ops.OpContext{Node: popN, Inputs: make([]ops.Value, 1), Outputs: make([]ops.Value, 2), Resources: res, StepID: stepID}
+	return push, pop
+}
+
+func TestStackKernelsLIFOAndDrop(t *testing.T) {
+	res := newFakeStackResources()
+	pushCtx, popCtx := stackContexts(t, res, 7)
+	pushK, err := ops.LookupKernel("StackPush", "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	popK, err := ops.LookupKernel("StackPop", "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := ops.Value{Tensor: tensor.ScalarInt(0)}
+	for i := 1; i <= 3; i++ {
+		pushCtx.Inputs[0] = ops.Value{Tensor: tensor.Scalar(float32(i))}
+		pushCtx.Inputs[1] = tok
+		if err := pushK(pushCtx); err != nil {
+			t.Fatal(err)
+		}
+		if depth := pushCtx.Outputs[0].Tensor.IntAt(0); depth != i {
+			t.Errorf("push %d: depth token = %d", i, depth)
+		}
+		tok = pushCtx.Outputs[0]
+	}
+	if len(res.stacks) != 1 {
+		t.Fatalf("expected one live stack, have %v", res.stacks)
+	}
+	// Pops return values most-recent-first and drop the stack when drained.
+	for i := 3; i >= 1; i-- {
+		popCtx.Inputs[0] = tok
+		if err := popK(popCtx); err != nil {
+			t.Fatal(err)
+		}
+		if got := popCtx.Outputs[0].Tensor.FloatAt(0); got != float64(i) {
+			t.Errorf("pop: got %v, want %d (LIFO)", got, i)
+		}
+		tok = popCtx.Outputs[1]
+	}
+	if len(res.stacks) != 0 || len(res.dropped) != 1 {
+		t.Errorf("drained stack not dropped: live %v, dropped %v", res.stacks, res.dropped)
+	}
+	// One more pop underflows with a clear error.
+	popCtx.Inputs[0] = tok
+	if err := popK(popCtx); err == nil || !strings.Contains(err.Error(), "empty stack") {
+		t.Errorf("underflow error = %v", err)
+	}
+}
+
+// TestStackKeysAreStepScoped: the same graph nodes on different StepIDs
+// must address different stacks, so concurrent steps never interleave.
+func TestStackKeysAreStepScoped(t *testing.T) {
+	res := newFakeStackResources()
+	pushK, _ := ops.LookupKernel("StackPush", "CPU")
+	popK, _ := ops.LookupKernel("StackPop", "CPU")
+	pushA, popA := stackContexts(t, res, 1)
+	pushB, popB := stackContexts(t, res, 2)
+	tok := ops.Value{Tensor: tensor.ScalarInt(0)}
+	pushA.Inputs[0], pushA.Inputs[1] = ops.Value{Tensor: tensor.Scalar(float32(10))}, tok
+	pushB.Inputs[0], pushB.Inputs[1] = ops.Value{Tensor: tensor.Scalar(float32(20))}, tok
+	if err := pushK(pushA); err != nil {
+		t.Fatal(err)
+	}
+	if err := pushK(pushB); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.stacks) != 2 {
+		t.Fatalf("step-scoped stacks should be distinct, have %v", res.stacks)
+	}
+	popB.Inputs[0] = tok
+	if err := popK(popB); err != nil {
+		t.Fatal(err)
+	}
+	if got := popB.Outputs[0].Tensor.FloatAt(0); got != 20 {
+		t.Errorf("step 2 popped %v, want 20", got)
+	}
+	popA.Inputs[0] = tok
+	if err := popK(popA); err != nil {
+		t.Fatal(err)
+	}
+	if got := popA.Outputs[0].Tensor.FloatAt(0); got != 10 {
+		t.Errorf("step 1 popped %v, want 10", got)
+	}
+}

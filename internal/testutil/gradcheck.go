@@ -1,0 +1,95 @@
+// Package testutil holds test harnesses shared across the repository's
+// packages. Its centerpiece is the finite-difference gradient checker that
+// every gradient test (elementwise ops, models, control flow) verifies
+// against, replacing the ad-hoc central-difference loops the early tests
+// each carried.
+package testutil
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// GradCheck verifies an analytic gradient against central differences:
+// for each element i of the point, it evaluates the scalar objective at
+// point ± step·eᵢ and compares (f₊ - f₋) / 2·step with the analytic
+// gradient's element i under a per-input relative tolerance
+// |analytic - numeric| ≤ tol · (1 + |numeric|).
+//
+// Step and tolerance default per dtype: float64 uses a small step and a
+// tight tolerance; float32 needs a much larger step (the function is
+// evaluated in ~7 significant digits) and a correspondingly looser bound.
+type GradCheck struct {
+	// Eval returns the scalar objective at the given point (typically the
+	// summed fetch of the loss endpoint).
+	Eval func(point *tensor.Tensor) (float64, error)
+	// Grad returns the analytic gradient at the given point, shaped like
+	// the point.
+	Grad func(point *tensor.Tensor) (*tensor.Tensor, error)
+	// Step overrides the central-difference half-step (0 = dtype default).
+	Step float64
+	// Tol overrides the relative tolerance (0 = dtype default).
+	Tol float64
+}
+
+// defaults returns the dtype-appropriate step and tolerance.
+func defaults(dt tensor.DType) (step, tol float64, err error) {
+	switch dt {
+	case tensor.Float64:
+		return 1e-6, 1e-4, nil
+	case tensor.Float32:
+		return 1e-2, 5e-2, nil
+	default:
+		return 0, 0, fmt.Errorf("testutil: gradient check needs a float point, got %v", dt)
+	}
+}
+
+// Run checks the gradient at the given point, reporting each mismatching
+// element through t.Errorf with the given name as context. The point is
+// restored element by element, so callers may reuse it.
+func (c GradCheck) Run(t testing.TB, name string, point *tensor.Tensor) {
+	t.Helper()
+	step, tol, err := defaults(point.DType())
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if c.Step > 0 {
+		step = c.Step
+	}
+	if c.Tol > 0 {
+		tol = c.Tol
+	}
+	analytic, err := c.Grad(point)
+	if err != nil {
+		t.Fatalf("%s: analytic gradient: %v", name, err)
+	}
+	if analytic == nil {
+		t.Fatalf("%s: analytic gradient is nil", name)
+	}
+	if analytic.NumElements() != point.NumElements() {
+		t.Fatalf("%s: analytic gradient has %d elements for a point of %d",
+			name, analytic.NumElements(), point.NumElements())
+	}
+	for i := 0; i < point.NumElements(); i++ {
+		orig := point.FloatAt(i)
+		point.SetFloat(i, orig+step)
+		up, err := c.Eval(point)
+		if err != nil {
+			t.Fatalf("%s: eval at +step: %v", name, err)
+		}
+		point.SetFloat(i, orig-step)
+		dn, err := c.Eval(point)
+		if err != nil {
+			t.Fatalf("%s: eval at -step: %v", name, err)
+		}
+		point.SetFloat(i, orig)
+		numeric := (up - dn) / (2 * step)
+		got := analytic.FloatAt(i)
+		if math.Abs(got-numeric) > tol*(1+math.Abs(numeric)) {
+			t.Errorf("%s: grad[%d] = %g, numeric %g", name, i, got, numeric)
+		}
+	}
+}

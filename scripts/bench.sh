@@ -2,18 +2,18 @@
 # Benchmark harness: runs the root benchmark suite (one iteration per
 # benchmark unless overridden) as a compile/run smoke gate, and records a
 # machine-readable snapshot of the headline numbers the ROADMAP tracks —
-# executor op dispatch rate, end-to-end training-step time, distributed
-# step time, and MatMul GFLOPS.
+# executor op dispatch rate, end-to-end training-step time (dense and
+# through-control-flow), distributed step time, and MatMul GFLOPS.
 #
 # Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
 #   benchtime     go -benchtime value (default 1x: smoke gate)
-#   output        JSON snapshot path (default BENCH_PR3.json)
+#   output        JSON snapshot path (default BENCH_PR4.json)
 #   benchpattern  -bench regexp (default ".": whole suite); use a subset
 #                 with a longer benchtime to refresh the snapshot stably
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
-OUT="${2:-BENCH_PR3.json}"
+OUT="${2:-BENCH_PR4.json}"
 PATTERN="${3:-.}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -27,7 +27,8 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^BenchmarkExecutorNullOps/ {
     for (i = 1; i <= NF; i++) if ($(i + 1) == "Mops/s") mops = $i
   }
-  /^BenchmarkTrainingStep/    { train_ns = $3 }
+  /^BenchmarkTrainingStep/      { train_ns = $3 }
+  /^BenchmarkWhileTrainingStep/ { while_ns = $3 }
   /^BenchmarkDistributedStep/ { dist_ns = $3 }
   /^BenchmarkMatMul\/256x256/ {
     for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops = $i
@@ -39,6 +40,7 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (cpu != "")      lines[n++] = sprintf("  \"cpu\": \"%s\"", cpu)
     if (mops != "")     lines[n++] = sprintf("  \"executor_null_ops_mops_per_s\": %s", mops)
     if (train_ns != "") lines[n++] = sprintf("  \"training_step_ns\": %s", train_ns)
+    if (while_ns != "") lines[n++] = sprintf("  \"while_training_step_ns\": %s", while_ns)
     if (dist_ns != "")  lines[n++] = sprintf("  \"distributed_step_ns\": %s", dist_ns)
     if (gflops != "")   lines[n++] = sprintf("  \"matmul_256x256_gflops\": %s", gflops)
     printf "{\n"

@@ -3,7 +3,9 @@ package tf
 import (
 	"fmt"
 
+	"repro/internal/build"
 	"repro/internal/graph"
+	"repro/internal/tensor"
 )
 
 // Cond builds a non-strict conditional (§3.4, Figure 2): each input is
@@ -13,6 +15,11 @@ import (
 // derive their results from them (operations not depending on a switched
 // input execute unconditionally, as in the reference system). The branches
 // must return the same number of outputs with matching types.
+//
+// Each Merge records the predicate that gated it (graph.CondPredAttr), which
+// is what lets the gradient builder rewrite a conditional's backward pass as
+// the dual conditional: the gradient of a Merge is a Switch on the same
+// predicate and vice versa (§4.1).
 func (gr *Graph) Cond(pred Output, inputs []Output, thenFn, elseFn func(ins []Output) []Output) []Output {
 	if len(inputs) == 0 {
 		gr.b.Fail(fmt.Errorf("tf: Cond needs at least one input to gate the branches"))
@@ -36,7 +43,10 @@ func (gr *Graph) Cond(pred Output, inputs []Output, thenFn, elseFn func(ins []Ou
 	}
 	merged := make([]Output, len(thenOuts))
 	for i := range thenOuts {
-		m := gr.b.Node("Merge", []graph.Endpoint{elseOuts[i].ep, thenOuts[i].ep}, "cond/merge", nil)
+		m := gr.b.Node("Merge", []graph.Endpoint{elseOuts[i].ep, thenOuts[i].ep}, "cond/merge", map[string]any{
+			graph.CondPredAttr:      pred.ep.Node.Name(),
+			graph.CondPredIndexAttr: pred.ep.Index,
+		})
 		if m == nil {
 			return nil
 		}
@@ -47,73 +57,23 @@ func (gr *Graph) Cond(pred Output, inputs []Output, thenFn, elseFn func(ins []Ou
 
 var whileCounter int
 
-// loopCtx is the while-loop construction context: while it is installed on
-// the builder, any input whose producer does not execute inside the frame is
-// automatically routed through a constant Enter, exactly like the reference
-// system's control-flow contexts (§3.4). "Executes inside the frame" means
-// the node has at least one in-frame input: source nodes (Const, Variable)
-// always execute in the caller's frame, so even constants created textually
-// inside the body closure are captured through an Enter.
-type loopCtx struct {
-	gr           *Graph
-	frame        string
-	resident     map[*graph.Node]bool
-	enterCache   map[graph.Endpoint]graph.Endpoint
-	parentMapper func(graph.Endpoint) graph.Endpoint
-}
-
-func (lc *loopCtx) mapInput(ep graph.Endpoint) graph.Endpoint {
-	if lc.resident[ep.Node] {
-		return ep
-	}
-	if cached, ok := lc.enterCache[ep]; ok {
-		return cached
-	}
-	src := ep
-	if lc.parentMapper != nil {
-		// The value may live several frames up: let the enclosing loop
-		// capture it first so our Enter's input is in our parent frame.
-		src = lc.parentMapper(src)
-		if src.Node == nil {
-			return graph.Endpoint{}
-		}
-	}
-	// Build the capture Enter with hooks suspended: its input must stay
-	// in the parent frame.
-	oldMap := lc.gr.b.SetInputMapper(nil)
-	oldAdd := lc.gr.b.SetOnAdd(nil)
-	enter := lc.gr.b.Node("Enter", []graph.Endpoint{src}, lc.frame+"/capture",
-		map[string]any{"frame_name": lc.frame, "is_constant": true})
-	lc.gr.b.SetInputMapper(oldMap)
-	lc.gr.b.SetOnAdd(oldAdd)
-	if enter == nil {
-		return graph.Endpoint{}
-	}
-	lc.resident[enter] = true
-	lc.enterCache[ep] = enter.Out(0)
-	return enter.Out(0)
-}
-
-func (lc *loopCtx) onAdd(n *graph.Node) {
-	// After input mapping, every input of a node built under this context
-	// is in-frame, so any node with inputs executes in-frame. Zero-input
-	// nodes (constants) stay outside and are captured on use.
-	if n.NumInputs() > 0 {
-		lc.resident[n] = true
-	}
-}
-
 // While builds an iteration (§3.4) with the timely-dataflow-inspired frame
 // structure: Enter pushes loop variables into a new frame, Merge joins the
 // initial value with the NextIteration back edge, LoopCond gates a Switch
 // per variable, Exit delivers the final values, and NextIteration feeds the
 // body results back. Values captured from outside the loop (including
 // constants created inside the closures) are routed through constant Enter
-// nodes automatically.
+// nodes automatically (build.FrameScope).
 //
 // invariants optionally pre-captures loop-invariant values, passed to the
 // closures as invs; automatic capture makes this a convenience rather than
 // a requirement.
+//
+// Alongside the user's loop variables, While threads a hidden int32
+// trip-count counter (0, 1, 2, …) through the frame, its Enter and Exit
+// marked with graph.LoopCounterAttr. The gradient builder (§4.1) runs the
+// backward loop for exactly the counter's final value, popping stack-saved
+// intermediates in reverse.
 func (gr *Graph) While(loopVars []Output, invariants []Output,
 	cond func(vars, invs []Output) Output,
 	body func(vars, invs []Output) []Output) []Output {
@@ -124,12 +84,7 @@ func (gr *Graph) While(loopVars []Output, invariants []Output,
 	}
 	whileCounter++
 	frame := fmt.Sprintf("while_%d", whileCounter)
-	lc := &loopCtx{
-		gr:         gr,
-		frame:      frame,
-		resident:   map[*graph.Node]bool{},
-		enterCache: map[graph.Endpoint]graph.Endpoint{},
-	}
+	fs := build.NewFrameScope(gr.b, frame)
 
 	merges := make([]*graph.Node, len(loopVars))
 	mergeOuts := make([]Output, len(loopVars))
@@ -139,12 +94,15 @@ func (gr *Graph) While(loopVars []Output, invariants []Output,
 		if enter == nil {
 			return nil
 		}
-		lc.resident[enter] = true
-		m := gr.b.Node("Merge", []graph.Endpoint{enter.Out(0)}, frame+"/merge", nil)
+		// The explicit FrameAttr matters when this loop nests inside
+		// another: an enclosing scope's onAdd hook is still installed here
+		// and would otherwise stamp the outer frame first.
+		m := gr.b.Node("Merge", []graph.Endpoint{enter.Out(0)}, frame+"/merge",
+			map[string]any{graph.FrameAttr: frame})
 		if m == nil {
 			return nil
 		}
-		lc.resident[m] = true
+		fs.MarkResident(enter, m)
 		merges[i] = m
 		mergeOuts[i] = gr.wrap(m.Out(0))
 	}
@@ -155,85 +113,93 @@ func (gr *Graph) While(loopVars []Output, invariants []Output,
 		if enter == nil {
 			return nil
 		}
-		lc.resident[enter] = true
+		fs.MarkResident(enter)
 		invs[i] = gr.wrap(enter.Out(0))
 	}
 
-	// Install the loop context for the cond/body closures.
-	lc.parentMapper = gr.b.SetInputMapper(lc.mapInput)
-	prevAdd := gr.b.SetOnAdd(lc.onAdd)
-	gr.st.loopStack = append(gr.st.loopStack, lc)
-	popped := false
-	restore := func() {
-		gr.b.SetInputMapper(lc.parentMapper)
-		gr.b.SetOnAdd(prevAdd)
-		if !popped {
-			popped = true
-			gr.st.loopStack = gr.st.loopStack[:len(gr.st.loopStack)-1]
-		}
+	// The hidden trip counter: one more loop variable counting executed
+	// iterations, entered at 0 and incremented by the body section below.
+	countEnter := gr.b.Node("Enter", []graph.Endpoint{gr.b.Const(tensor.ScalarInt(0))},
+		frame+"/count_enter", map[string]any{"frame_name": frame, graph.LoopCounterAttr: true})
+	if countEnter == nil {
+		return nil
 	}
+	countMerge := gr.b.Node("Merge", []graph.Endpoint{countEnter.Out(0)}, frame+"/count_merge",
+		map[string]any{graph.FrameAttr: frame})
+	if countMerge == nil {
+		return nil
+	}
+	fs.MarkResident(countEnter, countMerge)
+
+	// Install the frame scope for the cond/body closures (and the loop
+	// skeleton below, so Switches and Exits are stamped as frame members).
+	fs.Install()
+	defer fs.Remove()
 
 	pred := cond(mergeOuts, invs)
 	if !pred.Valid() {
-		restore()
 		gr.b.Fail(fmt.Errorf("tf: While cond returned an invalid output"))
 		return nil
 	}
 	loopCond := gr.b.Node("LoopCond", []graph.Endpoint{pred.ep}, frame+"/loopcond", nil)
 	if loopCond == nil {
-		restore()
 		return nil
 	}
 
 	bodyIns := make([]Output, len(loopVars))
 	exits := make([]Output, len(loopVars))
-	exitNodes := make([]*graph.Node, len(loopVars))
 	for i := range loopVars {
 		sw := gr.b.Node("Switch", []graph.Endpoint{merges[i].Out(0), loopCond.Out(0)}, frame+"/switch", nil)
 		if sw == nil {
-			restore()
 			return nil
 		}
 		exit := gr.b.Node("Exit", []graph.Endpoint{sw.Out(0)}, frame+"/exit", nil)
 		if exit == nil {
-			restore()
 			return nil
 		}
-		exitNodes[i] = exit
 		exits[i] = gr.wrap(exit.Out(0))
 		bodyIns[i] = gr.wrap(sw.Out(1))
 	}
 
+	// Counter skeleton: count' = count + 1 each executed iteration; the Exit
+	// delivers the final count — the forward trip count N.
+	countSwitch := gr.b.Node("Switch", []graph.Endpoint{countMerge.Out(0), loopCond.Out(0)}, frame+"/count_switch", nil)
+	if countSwitch == nil {
+		return nil
+	}
+	countExit := gr.b.Node("Exit", []graph.Endpoint{countSwitch.Out(0)}, frame+"/count_exit",
+		map[string]any{graph.LoopCounterAttr: true})
+	if countExit == nil {
+		return nil
+	}
+	countNext := gr.b.Node("NextIteration",
+		[]graph.Endpoint{gr.b.Add(countSwitch.Out(1), gr.b.Const(tensor.ScalarInt(1)))},
+		frame+"/count_next", nil)
+	if countNext == nil {
+		return nil
+	}
+	if err := gr.g.AddBackEdge(countMerge, countNext.Out(0)); err != nil {
+		gr.b.Fail(err)
+		return nil
+	}
+
 	bodyOuts := body(bodyIns, invs)
 	if len(bodyOuts) != len(loopVars) {
-		restore()
 		gr.b.Fail(fmt.Errorf("tf: While body returned %d outputs for %d loop variables", len(bodyOuts), len(loopVars)))
 		return nil
 	}
 	for i, out := range bodyOuts {
 		if !out.Valid() {
-			restore()
 			gr.b.Fail(fmt.Errorf("tf: While body output %d is invalid", i))
 			return nil
 		}
 		next := gr.b.Node("NextIteration", []graph.Endpoint{out.ep}, frame+"/next", nil)
 		if next == nil {
-			restore()
 			return nil
 		}
 		if err := gr.g.AddBackEdge(merges[i], next.Out(0)); err != nil {
-			restore()
 			gr.b.Fail(err)
 			return nil
-		}
-	}
-	restore()
-	// Exit values are delivered into the enclosing frame, so an enclosing
-	// loop context must treat them as resident.
-	if len(gr.st.loopStack) > 0 {
-		outer := gr.st.loopStack[len(gr.st.loopStack)-1]
-		for _, e := range exitNodes {
-			outer.resident[e] = true
 		}
 	}
 	return exits

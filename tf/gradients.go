@@ -27,6 +27,14 @@ func (g Gradient) IsZero() bool { return !g.Dense.Valid() && g.Sparse == nil }
 
 // Gradients builds the backward graph for ∂sum(ys)/∂xs as user-level
 // operations (§4.1) and returns one Gradient per x.
+//
+// Control flow differentiates too (§3.4): Cond gradients are the dual
+// conditional on the predicate each Merge records at construction, and
+// While gradients are a backward loop driven by the loop's hidden trip
+// counter, consuming stack-saved intermediates — both built from the
+// metadata tf.Cond/tf.While stamp on their nodes. Values inside a loop
+// frame cannot serve as ys or xs directly; differentiate the loop's Exit
+// values (and the outer sources of captured invariants) instead.
 func (gr *Graph) Gradients(ys []Output, xs []Output) ([]Gradient, error) {
 	if err := gr.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,479 @@
+package tf_test
+
+// Control-flow gradient tests (§4.1, §3.4): conditionals differentiate as
+// their dual (Switch↔Merge on the same predicate), loops as a backward loop
+// driven by the forward trip count with stack-saved intermediates. All
+// numeric checks run through the shared finite-difference harness.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+	"repro/internal/testutil"
+	"repro/tf"
+)
+
+// condModel builds y = pred ? x² : 3x and returns the loss and gradient
+// outputs plus the feeds.
+func TestCondGradientBothBranches(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{3})
+	pred := g.Placeholder("pred", tf.Bool, tf.Shape{})
+	outs := g.Cond(pred, []tf.Output{x},
+		func(ins []tf.Output) []tf.Output { return []tf.Output{g.Mul(ins[0], ins[0])} },
+		func(ins []tf.Output) []tf.Output { return []tf.Output{g.Mul(ins[0], g.Const([]float64{3, 3, 3}))} },
+	)
+	loss := g.Sum(outs[0], nil, false)
+	grads, err := g.DenseGradients([]tf.Output{loss}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	point := tf.FromFloat64s(tf.Shape{3}, []float64{0.5, -1.25, 2})
+	for _, branch := range []bool{true, false} {
+		feeds := func(at *tf.Tensor) map[tf.Output]*tf.Tensor {
+			return map[tf.Output]*tf.Tensor{x: at, pred: tf.ScalarBool(branch)}
+		}
+		name := "else"
+		if branch {
+			name = "then"
+		}
+		testutil.GradCheck{
+			Eval: func(at *tensor.Tensor) (float64, error) {
+				out, err := s.Run(feeds(at), []tf.Output{loss})
+				if err != nil {
+					return 0, err
+				}
+				return out[0].FloatAt(0), nil
+			},
+			Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+				out, err := s.Run(feeds(at), []tf.Output{grads[0]})
+				if err != nil {
+					return nil, err
+				}
+				return out[0], nil
+			},
+		}.Run(t, "Cond/"+name, point)
+	}
+}
+
+// TestWhileGradientFiniteDifference differentiates a three-iteration
+// recurrence s ← tanh(s·W) through tf.While w.r.t. both the initial state
+// (the Enter path) and the weight matrix (the loop-invariant path, which
+// accumulates one contribution per iteration from stack-popped
+// intermediates).
+func TestWhileGradientFiniteDifference(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{1, 3})
+	w := g.Placeholder("w", tf.Float64, tf.Shape{3, 3})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x},
+		[]tf.Output{w},
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(3))) },
+		func(vars, invs []tf.Output) []tf.Output {
+			return []tf.Output{
+				g.Add(vars[0], g.Const(int32(1))),
+				g.Tanh(g.MatMul(vars[1], invs[0])),
+			}
+		},
+	)
+	loss := g.Sum(g.Square(outs[1]), nil, false)
+	grads, err := g.DenseGradients([]tf.Output{loss}, []tf.Output{x, w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	xv := tf.FromFloat64s(tf.Shape{1, 3}, []float64{0.3, -0.8, 1.1})
+	wv := tf.FromFloat64s(tf.Shape{3, 3}, []float64{0.5, -0.2, 0.1, 0.7, 0.3, -0.4, -0.6, 0.2, 0.9})
+	for gi, point := range []*tf.Tensor{xv, wv} {
+		name := []string{"While/dx", "While/dW"}[gi]
+		under := []tf.Output{x, w}[gi]
+		feeds := func(at *tf.Tensor) map[tf.Output]*tf.Tensor {
+			f := map[tf.Output]*tf.Tensor{x: xv, w: wv}
+			f[under] = at
+			return f
+		}
+		testutil.GradCheck{
+			Eval: func(at *tensor.Tensor) (float64, error) {
+				out, err := s.Run(feeds(at), []tf.Output{loss})
+				if err != nil {
+					return 0, err
+				}
+				return out[0].FloatAt(0), nil
+			},
+			Grad: func(at *tensor.Tensor) (*tensor.Tensor, error) {
+				out, err := s.Run(feeds(at), []tf.Output{grads[gi]})
+				if err != nil {
+					return nil, err
+				}
+				return out[0], nil
+			},
+		}.Run(t, name, point)
+	}
+}
+
+// TestWhileGradientZeroIterations: a loop whose predicate is false from the
+// start passes the Exit gradient straight through — dy/dx = 1 for y = x.
+func TestWhileGradientZeroIterations(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(5)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(0))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Mul(vars[1], x)}
+		},
+	)
+	grads, err := g.DenseGradients([]tf.Output{outs[1]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	out, err := s.Run(map[tf.Output]*tf.Tensor{x: tf.FromFloat64s(tf.Shape{}, []float64{2})}, []tf.Output{grads[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0].FloatAt(0)-1) > 1e-12 {
+		t.Errorf("zero-iteration dy/dx = %v, want 1", out[0].FloatAt(0))
+	}
+}
+
+// TestWhileGradientClosedForm: v ← v·x for 3 iterations starting at v = x
+// gives y = x⁴ and dy/dx = 4x³ — the closed form doubles as a check that
+// invariant contributions and the Enter-path gradient sum correctly.
+func TestWhileGradientClosedForm(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(3))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Mul(vars[1], x)}
+		},
+	)
+	grads, err := g.DenseGradients([]tf.Output{outs[1]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	for _, xv := range []float64{0.5, 1.3, -0.7} {
+		out, err := s.Run(map[tf.Output]*tf.Tensor{x: tf.FromFloat64s(tf.Shape{}, []float64{xv})},
+			[]tf.Output{outs[1], grads[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Pow(xv, 4); math.Abs(out[0].FloatAt(0)-want) > 1e-9 {
+			t.Errorf("x=%v: y = %v, want %v", xv, out[0].FloatAt(0), want)
+		}
+		if want := 4 * math.Pow(xv, 3); math.Abs(out[1].FloatAt(0)-want) > 1e-9 {
+			t.Errorf("x=%v: dy/dx = %v, want %v", xv, out[1].FloatAt(0), want)
+		}
+	}
+}
+
+// TestWhileGradientStacksDrained: the backward loop must pop exactly what
+// the forward loop pushed — after a gradient step no per-step stack may
+// linger in the resource manager.
+func TestWhileGradientStacksDrained(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(4))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Tanh(g.Mul(vars[1], x))}
+		},
+	)
+	grads, err := g.DenseGradients([]tf.Output{outs[1]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Run(map[tf.Output]*tf.Tensor{x: tf.FromFloat64s(tf.Shape{}, []float64{0.8})},
+			[]tf.Output{grads[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if names := s.Core().Device().Resources().StackNames(); len(names) != 0 {
+		t.Errorf("stacks leaked across steps: %v", names)
+	}
+}
+
+// TestWhileGradientLoopVariantPredicateRejected: a trip count that depends
+// on differentiable loop state has no defined gradient; the builder must
+// fail naming the offending value instead of treating the count as
+// constant.
+func TestWhileGradientLoopVariantPredicateRejected(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{x}, nil,
+		// Predicate on the float loop variable itself.
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(float64(10))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(float64(1)))}
+		},
+	)
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.DenseGradients([]tf.Output{outs[0]}, []tf.Output{x})
+	if err == nil {
+		t.Fatal("gradient w.r.t. a loop-variant predicate should be rejected")
+	}
+	if !strings.Contains(err.Error(), "merge") || !strings.Contains(err.Error(), "predicate") {
+		t.Errorf("error should name the loop-variant node and the predicate: %v", err)
+	}
+}
+
+// TestWhileGradientInteriorValueRejected: differentiating a value captured
+// from inside the loop body (rather than an Exit) must fail with an error
+// naming the node — never a silently wrong gradient.
+func TestWhileGradientInteriorValueRejected(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	var interior tf.Output
+	g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(3))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			interior = g.Mul(vars[1], x)
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), interior}
+		},
+	)
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.DenseGradients([]tf.Output{interior}, []tf.Output{x})
+	if err == nil {
+		t.Fatal("differentiating a loop-interior value should be rejected")
+	}
+	if !strings.Contains(err.Error(), "loop frame") {
+		t.Errorf("error should mention the loop frame: %v", err)
+	}
+}
+
+// TestCondInsideWhileGradientRejected: nested control flow in a loop body
+// is not differentiable; the error must identify the nested node.
+func TestCondInsideWhileGradientRejected(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(3))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			branch := g.Cond(g.Less(vars[1], g.Const(float64(0))), []tf.Output{vars[1]},
+				func(ins []tf.Output) []tf.Output { return []tf.Output{g.Neg(ins[0])} },
+				func(ins []tf.Output) []tf.Output { return []tf.Output{ins[0]} },
+			)
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), branch[0]}
+		},
+	)
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := g.DenseGradients([]tf.Output{outs[1]}, []tf.Output{x})
+	if err == nil {
+		t.Fatal("cond nested in a while body should be rejected")
+	}
+	if !strings.Contains(err.Error(), "nest") {
+		t.Errorf("error should mention nesting: %v", err)
+	}
+}
+
+// TestNestedCondGradient: conditionals nest freely (each Merge records its
+// own predicate), so a cond inside a cond branch differentiates.
+func TestNestedCondGradient(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outer := g.Placeholder("po", tf.Bool, tf.Shape{})
+	inner := g.Placeholder("pi", tf.Bool, tf.Shape{})
+	outs := g.Cond(outer, []tf.Output{x},
+		func(ins []tf.Output) []tf.Output {
+			nested := g.Cond(inner, []tf.Output{ins[0]},
+				func(in2 []tf.Output) []tf.Output { return []tf.Output{g.Mul(in2[0], in2[0])} }, // x²
+				func(in2 []tf.Output) []tf.Output { return []tf.Output{g.Neg(in2[0])} },         // -x
+			)
+			return []tf.Output{nested[0]}
+		},
+		func(ins []tf.Output) []tf.Output { return []tf.Output{g.Mul(ins[0], g.Const(float64(5)))} }, // 5x
+	)
+	grads, err := g.DenseGradients([]tf.Output{outs[0]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, g)
+	run := func(po, pi bool) float64 {
+		out, err := s.Run(map[tf.Output]*tf.Tensor{
+			x:     tf.FromFloat64s(tf.Shape{}, []float64{1.5}),
+			outer: tf.ScalarBool(po),
+			inner: tf.ScalarBool(pi),
+		}, []tf.Output{grads[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].FloatAt(0)
+	}
+	if got := run(true, true); math.Abs(got-3) > 1e-12 { // d(x²)/dx at 1.5
+		t.Errorf("outer∧inner grad = %v, want 3", got)
+	}
+	if got := run(true, false); math.Abs(got+1) > 1e-12 { // d(-x)/dx
+		t.Errorf("outer∧¬inner grad = %v, want -1", got)
+	}
+	if got := run(false, true); math.Abs(got-5) > 1e-12 { // d(5x)/dx
+		t.Errorf("¬outer grad = %v, want 5", got)
+	}
+}
+
+// TestCondSecondOrderGradient: the backward conditional records its
+// predicate just like the forward one, so it differentiates again —
+// y = pred ? x³ : x gives y” = 6x on the then branch and 0 on the else.
+func TestCondSecondOrderGradient(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	pred := g.Placeholder("pred", tf.Bool, tf.Shape{})
+	outs := g.Cond(pred, []tf.Output{x},
+		func(ins []tf.Output) []tf.Output { return []tf.Output{g.Mul(g.Mul(ins[0], ins[0]), ins[0])} },
+		func(ins []tf.Output) []tf.Output { return []tf.Output{ins[0]} },
+	)
+	g1, err := g.DenseGradients([]tf.Output{outs[0]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := g.DenseGradients([]tf.Output{g1[0]}, []tf.Output{x})
+	if err != nil {
+		t.Fatalf("second-order cond gradient: %v", err)
+	}
+	s := newSession(t, g)
+	run := func(p bool) float64 {
+		out, err := s.Run(map[tf.Output]*tf.Tensor{
+			x:    tf.FromFloat64s(tf.Shape{}, []float64{1.5}),
+			pred: tf.ScalarBool(p),
+		}, []tf.Output{g2[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out[0].FloatAt(0)
+	}
+	if got := run(true); math.Abs(got-9) > 1e-9 { // 6x at 1.5
+		t.Errorf("then branch y'' = %v, want 9", got)
+	}
+	if got := run(false); math.Abs(got) > 1e-9 {
+		t.Errorf("else branch y'' = %v, want 0", got)
+	}
+}
+
+// TestNestedWhileFrameMetadata pins the frame-membership invariant for
+// nested loops: every loop-skeleton Merge must report the frame of the
+// Enter feeding it, even though an enclosing loop's construction hooks are
+// active while an inner skeleton is built (they would otherwise stamp the
+// outer frame first).
+func TestNestedWhileFrameMetadata(t *testing.T) {
+	g := tf.NewGraph()
+	outs := g.While(
+		[]tf.Output{g.Const(float32(0)), g.Const(float32(0))}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(float32(3))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			inner := g.While(
+				[]tf.Output{g.ZerosLike(vars[0]), vars[1]}, nil,
+				func(iv, _ []tf.Output) tf.Output { return g.Less(iv[0], g.Const(float32(2))) },
+				func(iv, _ []tf.Output) []tf.Output {
+					return []tf.Output{g.Add(iv[0], g.Const(float32(1))), g.Add(iv[1], g.Const(float32(1)))}
+				},
+			)
+			return []tf.Output{g.Add(vars[0], g.Const(float32(1))), inner[1]}
+		},
+	)
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+	_ = outs
+	for _, n := range g.Raw().Nodes() {
+		if n.Op() != "Merge" || n.NumInputs() == 0 {
+			continue
+		}
+		enter := n.Input(0).Node
+		if enter.Op() != "Enter" {
+			continue
+		}
+		want := graph.NodeFrame(enter)
+		if got := graph.NodeFrame(n); got != want {
+			t.Errorf("merge %s reports frame %q, its Enter %s is in %q", n.Name(), got, enter.Name(), want)
+		}
+	}
+}
+
+// TestSequentialWhileLoopsGradient: two loops composed in sequence (the
+// second consumes the first's Exit value as a captured invariant) are not
+// nested control flow; the gradient must chain through both backward
+// loops. y = (x²)·x³... precisely: loop1 squares x twice (a = x⁴? no —
+// a ← a·x for 2 iters from a = x gives a = x³), loop2 multiplies b ← b·a
+// for 2 iters from b = 1, so y = a² = x⁶ and dy/dx = 6x⁵.
+func TestSequentialWhileLoopsGradient(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	first := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(2))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Mul(vars[1], x)}
+		},
+	)
+	a := first[1] // x³
+	second := g.While(
+		[]tf.Output{g.Const(int32(0)), g.Const(float64(1))}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(2))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Mul(vars[1], a)}
+		},
+	)
+	y := second[1] // a² = x⁶
+	grads, err := g.DenseGradients([]tf.Output{y}, []tf.Output{x})
+	if err != nil {
+		t.Fatalf("sequential loops should differentiate: %v", err)
+	}
+	s := newSession(t, g)
+	for _, xv := range []float64{0.9, 1.2} {
+		out, err := s.Run(map[tf.Output]*tf.Tensor{x: tf.FromFloat64s(tf.Shape{}, []float64{xv})},
+			[]tf.Output{y, grads[0]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Pow(xv, 6); math.Abs(out[0].FloatAt(0)-want) > 1e-9 {
+			t.Errorf("x=%v: y = %v, want x⁶ = %v", xv, out[0].FloatAt(0), want)
+		}
+		if want := 6 * math.Pow(xv, 5); math.Abs(out[1].FloatAt(0)-want) > 1e-9 {
+			t.Errorf("x=%v: dy/dx = %v, want 6x⁵ = %v", xv, out[1].FloatAt(0), want)
+		}
+	}
+}
+
+// TestWhileSecondOrderGradientRejected: differentiating a while gradient
+// again must say plainly that second-order loop gradients are unsupported,
+// not report a structural mismatch in the generated backward frame.
+func TestWhileSecondOrderGradientRejected(t *testing.T) {
+	g := tf.NewGraph()
+	x := g.Placeholder("x", tf.Float64, tf.Shape{})
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(3))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{g.Add(vars[0], g.Const(int32(1))), g.Mul(vars[1], x)}
+		},
+	)
+	g1, err := g.DenseGradients([]tf.Output{outs[1]}, []tf.Output{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = g.DenseGradients([]tf.Output{g1[0]}, []tf.Output{x})
+	if err == nil {
+		t.Fatal("second-order while gradient should be rejected")
+	}
+	if !strings.Contains(err.Error(), "second-order") {
+		t.Errorf("error should say second-order loop gradients are unsupported: %v", err)
+	}
+}

@@ -133,8 +133,7 @@ type Graph struct {
 }
 
 type graphState struct {
-	inits     []*graph.Node
-	loopStack []*loopCtx
+	inits []*graph.Node
 }
 
 // NewGraph creates an empty graph.

@@ -511,3 +511,59 @@ func TestCoordinatorCollectsFirstError(t *testing.T) {
 		t.Error("coordinator should report stopped")
 	}
 }
+
+// TestOptimizerTrainsWhileLoopModel trains through control flow (§4.1): the
+// prediction iterates s ← tanh(w·s) for a fixed trip count inside tf.While,
+// the loss is (s_T − target)², and plain SGD must reduce it monotonically
+// enough to converge. This exercises the whole loop-gradient pipeline —
+// trip-count counter, stack-saved intermediates, invariant accumulation —
+// under a real optimizer update.
+func TestOptimizerTrainsWhileLoopModel(t *testing.T) {
+	g := tf.NewGraph()
+	w := g.NewVariableFromTensor("w", tf.FromFloat64s(tf.Shape{}, []float64{0.2}))
+	x := g.Const(float64(0.9))
+	target := g.Const(float64(0.6))
+	wVal := w.Value() // read outside the loop; captured as a loop invariant
+	outs := g.While(
+		[]tf.Output{g.Const(int32(0)), x}, nil,
+		func(vars, _ []tf.Output) tf.Output { return g.Less(vars[0], g.Const(int32(4))) },
+		func(vars, _ []tf.Output) []tf.Output {
+			return []tf.Output{
+				g.Add(vars[0], g.Const(int32(1))),
+				g.Tanh(g.Mul(wVal, vars[1])),
+			}
+		},
+	)
+	loss := g.Square(g.Sub(outs[1], target))
+	opt := &train.GradientDescent{LearningRate: 0.5}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	var first, last float64
+	const steps = 12
+	for i := 0; i < steps; i++ {
+		out, err := sess.Run(nil, []tf.Output{loss}, trainOp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = out[0].FloatAt(0)
+		}
+		last = out[0].FloatAt(0)
+	}
+	if !(last < first/10) {
+		t.Errorf("while-loop model did not train: loss %g → %g over %d steps", first, last, steps)
+	}
+	if last > 1e-3 {
+		t.Errorf("while-loop model loss after %d steps = %g, want <= 1e-3", steps, last)
+	}
+}
