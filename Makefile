@@ -27,14 +27,16 @@ test:
 race:
 	$(GO) test -race -count=1 ./...
 
-# The executor and the distributed runtime are where concurrent steps,
-# rendezvous and abort paths interleave; they run race-enabled on every
-# CI pass (full -race stays available as `make race`).
+# The executor, the distributed runtime (including the kill-and-recover
+# fault-tolerance integration test) and the replicated-training layer are
+# where concurrent steps, rendezvous, abort and retry paths interleave;
+# they run race-enabled on every CI pass (full -race stays available as
+# `make race`).
 race-hot:
-	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/...
+	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./tf/train/...
 
 # Full benchmark pass: runs every root benchmark once and refreshes the
-# committed BENCH_PR4.json snapshot (pass BENCHTIME=2s for stable numbers).
+# committed BENCH_PR5.json snapshot (pass BENCHTIME=2s for stable numbers).
 BENCHTIME ?= 1x
 bench:
 	scripts/bench.sh $(BENCHTIME)

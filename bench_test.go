@@ -285,6 +285,54 @@ func BenchmarkDistributedStep(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicatedTrainingStep measures one asynchronous data-parallel
+// training step through tf/train's replication layer (§4.4, Figure 4a):
+// parameters sharded over two PS tasks, gradients computed on a worker
+// replica, optimizer update applied on the shards, global step bumped —
+// all over the real in-process cluster runtime.
+func BenchmarkReplicatedTrainingStep(b *testing.B) {
+	spec := distributed.ClusterSpec{"ps": {"", ""}, "worker": {""}}
+	cluster := distributed.NewInProcCluster(spec)
+	const (
+		features = 32
+		batch    = 16
+	)
+	r, err := train.NewReplicated(train.ReplicatedOptions{
+		Cluster: spec, Resolver: cluster.Resolver(),
+		Optimizer: &train.GradientDescent{LearningRate: 0.01},
+	}, func(rb *train.ReplicaGraph) (*train.Model, error) {
+		x := rb.Placeholder("x", tf.Float32, tf.Shape{batch, features})
+		y := rb.Placeholder("y", tf.Float32, tf.Shape{batch, 1})
+		w := rb.Variable("w", tf.NewTensor(tf.Float32, tf.Shape{features, 1}))
+		bias := rb.Variable("b", tf.NewTensor(tf.Float32, tf.Shape{1}))
+		pred := rb.Add(rb.MatMul(x, w.Value()), bias.Value())
+		loss := rb.Mean(rb.Square(rb.Sub(pred, y)), nil, false)
+		return &train.Model{Loss: loss, Inputs: map[string]tf.Output{"x": x, "y": y}}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Init(); err != nil {
+		b.Fatal(err)
+	}
+	wTrue := make([]float32, features)
+	for i := range wTrue {
+		wTrue[i] = float32(i%5) - 2
+	}
+	xs, ys := nn.LinearData(1, batch, features, wTrue, 0.5, 0.01)
+	feeds := map[string]*tf.Tensor{"x": xs, "y": ys}
+	if _, err := r.TrainStep(0, feeds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.TrainStep(0, feeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- ablations (ARCHITECTURE.md) --------------------------------------------
 
 // BenchmarkAblationSubgraphCache quantifies the master's subgraph cache

@@ -15,6 +15,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -130,30 +133,71 @@ func ReadTensor(path, name string) (*tensor.Tensor, error) {
 	return t, nil
 }
 
-// Latest returns the newest checkpoint matching prefix-* in its directory,
-// or "" if none exists. Save paths are conventionally "prefix-<step>".
-func Latest(prefix string) (string, error) {
-	matches, err := filepath.Glob(prefix + "-*")
+// stepOf parses the step out of a "prefix-<step>" checkpoint path. It
+// rejects anything whose suffix is not a plain decimal number — in
+// particular the "prefix-<step>.tmp*" temp files Write creates in the same
+// directory, which must never be read as (or retained like) a finished
+// checkpoint.
+func stepOf(prefix, path string) (int64, bool) {
+	rest, ok := strings.CutPrefix(path, prefix+"-")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
 	if err != nil {
-		return "", err
+		return 0, false
 	}
-	best := ""
-	var bestTime int64
-	for _, m := range matches {
-		info, err := os.Stat(m)
-		if err != nil || info.IsDir() {
-			continue
-		}
-		if t := info.ModTime().UnixNano(); best == "" || t > bestTime {
-			best, bestTime = m, t
-		}
-	}
-	return best, nil
+	return n, true
 }
 
-// Retention keeps the most recent keep checkpoints matching prefix-* and
-// deletes the rest, implementing the customizable retention scheme the
-// paper mentions (§4.3).
+// LatestStep returns the finished checkpoint with the highest step number
+// among prefix-<step> files, or "" when none exists. Ordering by the parsed
+// step — not file modification time — means an older checkpoint restored or
+// copied into place cannot masquerade as newest, and in-flight temp files
+// are never candidates.
+func LatestStep(prefix string) (path string, step int64, err error) {
+	matches, err := filepath.Glob(prefix + "-*")
+	if err != nil {
+		return "", 0, err
+	}
+	for _, m := range matches {
+		s, ok := stepOf(prefix, m)
+		if !ok {
+			continue
+		}
+		if info, err := os.Stat(m); err != nil || info.IsDir() {
+			continue
+		}
+		if path == "" || s > step {
+			path, step = m, s
+		}
+	}
+	return path, step, nil
+}
+
+// Latest returns the newest checkpoint matching prefix-<step> in its
+// directory, or "" if none exists.
+func Latest(prefix string) (string, error) {
+	path, _, err := LatestStep(prefix)
+	return path, err
+}
+
+// orphanAge is how old a temp file must be before Retention treats it as
+// abandoned by a crashed Write rather than in flight. Any live Write
+// finishes (or fails) far faster than this.
+const orphanAge = time.Hour
+
+// Retention keeps the keep highest-step checkpoints matching prefix-<step>
+// and deletes the rest, implementing the customizable retention scheme the
+// paper mentions (§4.3). Files whose suffix is not a step number are left
+// alone with one exception: temp files from a Write that crashed mid-save
+// (".tmp" in the suffix, untouched for orphanAge) are swept, so repeated
+// kill-during-checkpoint cycles cannot accumulate garbage.
 func Retention(prefix string, keep int) error {
 	matches, err := filepath.Glob(prefix + "-*")
 	if err != nil {
@@ -161,17 +205,25 @@ func Retention(prefix string, keep int) error {
 	}
 	type entry struct {
 		path string
-		mod  int64
+		step int64
 	}
 	entries := make([]entry, 0, len(matches))
 	for _, m := range matches {
-		info, err := os.Stat(m)
-		if err != nil || info.IsDir() {
+		s, ok := stepOf(prefix, m)
+		if !ok {
+			if info, err := os.Stat(m); err == nil && !info.IsDir() &&
+				strings.Contains(m[len(prefix):], ".tmp") &&
+				time.Since(info.ModTime()) > orphanAge {
+				_ = os.Remove(m)
+			}
 			continue
 		}
-		entries = append(entries, entry{m, info.ModTime().UnixNano()})
+		if info, err := os.Stat(m); err != nil || info.IsDir() {
+			continue
+		}
+		entries = append(entries, entry{m, s})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mod > entries[j].mod })
+	sort.Slice(entries, func(i, j int) bool { return entries[i].step > entries[j].step })
 	for i := keep; i < len(entries); i++ {
 		if err := os.Remove(entries[i].path); err != nil {
 			return err

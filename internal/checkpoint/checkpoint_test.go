@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -121,5 +122,87 @@ func TestLatestAndRetention(t *testing.T) {
 	none, err := Latest(filepath.Join(dir, "other"))
 	if err != nil || none != "" {
 		t.Errorf("Latest(empty) = %q, %v", none, err)
+	}
+}
+
+func TestLatestIgnoresTempFilesAndOrdersBySteps(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "model")
+	for _, step := range []int{5, 100} {
+		if err := Write(fmt.Sprintf("%s-%d", prefix, step), map[string]*tensor.Tensor{
+			"step": tensor.ScalarInt(int32(step)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An in-flight Write (same naming scheme as os.CreateTemp produces) and
+	// an unrelated directory both match the prefix-* glob; neither may win.
+	tmp := prefix + "-200.tmp123456"
+	if err := os.WriteFile(tmp, []byte("torn, half-written checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(prefix+"-300", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The low-step checkpoint is the most recently modified — as after a
+	// restore from a copied-in older checkpoint. Step order must win.
+	tm := time.Now().Add(time.Hour)
+	for _, p := range []string{prefix + "-5", tmp} {
+		if err := os.Chtimes(p, tm, tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, step, err := LatestStep(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != prefix+"-100" || step != 100 {
+		t.Errorf("LatestStep = %q, %d; want %q, 100", path, step, prefix+"-100")
+	}
+	if st, err := ReadTensor(path, "step"); err != nil || st.IntAt(0) != 100 {
+		t.Errorf("latest checkpoint unreadable: %v, %v", st, err)
+	}
+}
+
+func TestRetentionSparesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "model")
+	for _, step := range []int{1, 2, 3} {
+		if err := Write(fmt.Sprintf("%s-%d", prefix, step), map[string]*tensor.Tensor{
+			"step": tensor.ScalarInt(int32(step)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A concurrent Write's recently created temp file must survive (it is
+	// in flight), while one abandoned by a crash long ago is swept.
+	tmp := prefix + "-9.tmp42"
+	if err := os.WriteFile(tmp, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := prefix + "-8.tmp7"
+	if err := os.WriteFile(orphan, []byte("crashed mid-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := Retention(prefix, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Errorf("retention removed the in-flight temp file: %v", err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("retention left the orphaned temp file behind: %v", err)
+	}
+	if _, err := os.Stat(prefix + "-1"); !os.IsNotExist(err) {
+		t.Errorf("lowest-step checkpoint not pruned: %v", err)
+	}
+	for _, step := range []int{2, 3} {
+		if _, err := os.Stat(fmt.Sprintf("%s-%d", prefix, step)); err != nil {
+			t.Errorf("retention deleted kept checkpoint %d: %v", step, err)
+		}
 	}
 }

@@ -306,6 +306,26 @@ func (m *ResourceManager) StackNames() []string {
 	return out
 }
 
+// SnapshotVariables returns a consistent-per-variable copy of every
+// initialized variable's value, keyed by resource name — the unit of
+// user-level checkpointing (§4.3). Uninitialized variables are skipped:
+// they have no state worth saving and would fail to read.
+func (m *ResourceManager) SnapshotVariables() map[string]*tensor.Tensor {
+	m.mu.Lock()
+	vars := make(map[string]*ops.Variable, len(m.vars))
+	for name, v := range m.vars {
+		vars[name] = v
+	}
+	m.mu.Unlock()
+	out := make(map[string]*tensor.Tensor, len(vars))
+	for name, v := range vars {
+		if t, err := v.Read(); err == nil {
+			out[name] = t
+		}
+	}
+	return out
+}
+
 // VariableNames returns the names of all live variables (for checkpoints
 // and tests).
 func (m *ResourceManager) VariableNames() []string {

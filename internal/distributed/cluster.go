@@ -7,8 +7,10 @@
 package distributed
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/device"
 	"repro/internal/ops"
@@ -123,12 +125,53 @@ type AbortStepReq struct {
 	StepID int64
 }
 
+// SaveShardReq asks a task to checkpoint its resident variables — its shard
+// of the sharded model state — to Prefix-<Step> (§4.3: "one Save per task,
+// keyed by the training step"). Keep > 0 applies the retention policy to
+// the shard's prefix afterwards.
+type SaveShardReq struct {
+	Prefix string
+	Step   int64
+	Keep   int
+}
+
+// SaveShardResp reports what was written; Saved is 0 (and Path empty) when
+// the task holds no variables.
+type SaveShardResp struct {
+	Path  string
+	Saved int
+}
+
+// ErrUnavailable marks transport-level failures — the peer task cannot be
+// reached (dial refused, connection lost mid-call, client torn down). They
+// are the retryable class of §4.3's failure model: the task may come back,
+// so a master configured with StepRetries recompiles and reruns the step.
+var ErrUnavailable = errors.New("task unavailable")
+
+// IsRetryable reports whether an error is worth a step retry: a transport
+// failure, or a stale state left by a task restart (registered subgraph
+// handles are gone after the restarted worker comes back). Errors that
+// crossed the wire arrive as strings, so the textual checks matter as much
+// as errors.Is.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "task unavailable") ||
+		strings.Contains(msg, "unknown graph handle")
+}
+
 // Transport is the raw interface to one remote task.
 type Transport interface {
 	RegisterGraph(req *RegisterGraphReq) (*RegisterGraphResp, error)
 	RunGraph(req *RunGraphReq) (*RunGraphResp, error)
 	RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error)
 	AbortStep(req *AbortStepReq) error
+	SaveShard(req *SaveShardReq) (*SaveShardResp, error)
 	Close() error
 }
 

@@ -1,0 +1,346 @@
+package distributed
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// sendOnlyGraph registers a Const→Send subgraph on w, returning the handle.
+// Running it buffers one rendezvous entry, which is how the missed-abort
+// race leaks.
+func sendOnlyGraph(t *testing.T, w *Worker) string {
+	t.Helper()
+	g := graph.New()
+	c := buildNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "c", Attrs: map[string]any{"value": tensor.Scalar(7)},
+	})
+	buildNode(t, g, "Send", []graph.Endpoint{c.Out(0)}, graph.NodeArgs{
+		Name: "send",
+		Attrs: map[string]any{
+			"tensor_name": "t0",
+			"send_device": w.Device().Name(),
+			"recv_device": "/job:other/task:0/device:CPU:0",
+		},
+	})
+	bytes, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := w.RegisterGraph(&RegisterGraphReq{GraphBytes: bytes, Targets: []string{"send"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Handle
+}
+
+func TestAbortBeforeRunGraphAbortsImmediately(t *testing.T) {
+	spec := ClusterSpec{"w": {"inproc"}}
+	cluster := NewInProcCluster(spec)
+	w := cluster.Workers["/job:w/task:0"]
+	handle := sendOnlyGraph(t, w)
+
+	// Sanity: a normal run buffers the sent value until the step ends.
+	if _, err := w.RunGraph(&RunGraphReq{Handle: handle, StepID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.LocalTensorCount(); n != 1 {
+		t.Fatalf("after run, buffered = %d, want 1", n)
+	}
+	if err := w.AbortStep(&AbortStepReq{StepID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.LocalTensorCount(); n != 0 {
+		t.Fatalf("after end-of-step, buffered = %d, want 0", n)
+	}
+
+	// The race: AbortStep arrives before RunGraph registers the step (the
+	// master aborted after a fast-failing peer). The late RunGraph must
+	// abort instead of running to completion and leaking the send buffer.
+	if err := w.AbortStep(&AbortStepReq{StepID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := w.RunGraph(&RunGraphReq{Handle: handle, StepID: 2})
+	if err == nil {
+		t.Fatal("RunGraph after AbortStep for the same step should fail")
+	}
+	if !strings.Contains(err.Error(), "aborted before it started") {
+		t.Errorf("error should name the race, got: %v", err)
+	}
+	if n := w.LocalTensorCount(); n != 0 {
+		t.Errorf("missed-abort race leaked %d rendezvous entries", n)
+	}
+}
+
+func TestParseRefRejectsTrailingGarbage(t *testing.T) {
+	g := graph.New()
+	buildNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "w", Attrs: map[string]any{"value": tensor.Scalar(1)},
+	})
+	for _, ref := range []string{"w:0junk", "w:", "w:1x", "w:-1", "noctx"} {
+		if _, err := parseRef(g, ref); err == nil {
+			t.Errorf("parseRef(%q) accepted a malformed ref", ref)
+		}
+	}
+	ep, err := parseRef(g, "w:0")
+	if err != nil || ep.Index != 0 {
+		t.Errorf("parseRef(w:0) = %v, %v", ep, err)
+	}
+}
+
+func TestParseTaskStrict(t *testing.T) {
+	for _, task := range []string{
+		"/job:w/task:1junk", "w", "/task:1", "/job:w/task:0/device:CPU:0", "",
+		"/job:w/task:-3", "/job:w/replica:-1",
+	} {
+		if _, _, err := ParseTask(task); err == nil {
+			t.Errorf("ParseTask(%q) accepted a malformed task", task)
+		}
+	}
+	job, idx, err := ParseTask("/job:ps/task:3")
+	if err != nil || job != "ps" || idx != 3 {
+		t.Errorf("ParseTask = %q, %d, %v", job, idx, err)
+	}
+	// A bare job means task 0 (the resolver's historical default).
+	job, idx, err = ParseTask("/job:ps")
+	if err != nil || job != "ps" || idx != 0 {
+		t.Errorf("ParseTask(bare job) = %q, %d, %v", job, idx, err)
+	}
+}
+
+// TestServerCloseUnblocksRunningStep exercises the Close path: a RunGraph
+// dispatch blocked in a rendezvous Recv must be aborted and joined before
+// Close returns, instead of Close racing a still-running handler.
+func TestServerCloseUnblocksRunningStep(t *testing.T) {
+	w := NewWorker("w", 0, func(string) (Transport, error) {
+		return nil, errUnknownTask("none")
+	})
+	srv, err := Serve(w, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	buildNode(t, g, "Recv", nil, graph.NodeArgs{
+		Name: "r",
+		Attrs: map[string]any{
+			"tensor_name": "never-sent",
+			"dtype":       tensor.Float32,
+			"send_device": w.Device().Name(),
+			"recv_device": w.Device().Name(),
+		},
+	})
+	bytes, err := g.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := client.RegisterGraph(&RegisterGraphReq{GraphBytes: bytes, Fetches: []string{"r:0"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := client.RunGraph(&RunGraphReq{Handle: reg.Handle, StepID: 99})
+		runErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the step block in Recv
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on a blocked step")
+	}
+	if err := <-runErr; err == nil {
+		t.Error("blocked RunGraph should fail when the server closes")
+	}
+}
+
+// countingTransport counts AbortStep calls per task.
+type countingTransport struct {
+	Transport
+	aborts *int
+	mu     *sync.Mutex
+}
+
+func (c countingTransport) AbortStep(req *AbortStepReq) error {
+	c.mu.Lock()
+	*c.aborts++
+	c.mu.Unlock()
+	return c.Transport.AbortStep(req)
+}
+
+func TestMasterAbortsOncePerTaskOnFailure(t *testing.T) {
+	spec, cluster := testCluster()
+	var mu sync.Mutex
+	counts := map[string]*int{}
+	resolver := func(task string) (Transport, error) {
+		tr, err := cluster.Resolver()(task)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if counts[task] == nil {
+			counts[task] = new(int)
+		}
+		n := counts[task]
+		mu.Unlock()
+		return countingTransport{Transport: tr, aborts: n, mu: &mu}, nil
+	}
+
+	// Worker 1's partition fails (uninitialized read); worker 0 feeds it.
+	g := graph.New()
+	v := buildNode(t, g, "Variable", nil, graph.NodeArgs{
+		Name:   "never_init",
+		Attrs:  map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+		Device: "/job:worker/task:1",
+	})
+	read := buildNode(t, g, "Read", []graph.Endpoint{v.Out(0)}, graph.NodeArgs{Name: "bad_read"})
+	c := buildNode(t, g, "Const", nil, graph.NodeArgs{
+		Name: "c", Attrs: map[string]any{"value": tensor.Scalar(1)}, Device: "/job:worker/task:0",
+	})
+	sum := buildNode(t, g, "Add", []graph.Endpoint{c.Out(0), read.Out(0)}, graph.NodeArgs{
+		Name: "sum", Device: "/job:worker/task:1",
+	})
+	m, err := NewMaster(g, spec, resolver, MasterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, []graph.Endpoint{sum.Out(0)}, nil); err == nil {
+		t.Fatal("failing step should error")
+	}
+	for task, n := range counts {
+		if *n != 1 {
+			t.Errorf("%s received %d AbortStep calls, want exactly 1", task, *n)
+		}
+	}
+	for task, w := range cluster.Workers {
+		if n := w.LocalTensorCount(); n != 0 {
+			t.Errorf("%s leaked %d rendezvous entries", task, n)
+		}
+	}
+}
+
+// tcpCluster serves one worker per task over TCP loopback, filling spec
+// addresses as listeners come up. The returned resolver redials restarted
+// tasks.
+func tcpCluster(t *testing.T, jobs map[string]int) (ClusterSpec, map[string]*Server, Resolver) {
+	t.Helper()
+	spec := ClusterSpec{}
+	for job, n := range jobs {
+		spec[job] = make([]string, n)
+	}
+	var resolver Resolver
+	indirect := func(task string) (Transport, error) { return resolver(task) }
+	servers := map[string]*Server{}
+	for job, n := range jobs {
+		for i := 0; i < n; i++ {
+			w := NewWorker(job, i, indirect)
+			srv, err := Serve(w, "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { srv.Close() })
+			servers[TaskName(job, i)] = srv
+			spec[job][i] = srv.Addr()
+		}
+	}
+	resolver = TCPResolver(spec)
+	return spec, servers, resolver
+}
+
+func TestMasterRetriesAfterWorkerRestart(t *testing.T) {
+	spec, servers, resolver := tcpCluster(t, map[string]int{"ps": 1, "worker": 1})
+	g, _, assign, _, double := psWorkerGraph(t)
+	m, err := NewMaster(g, spec, resolver, MasterOptions{StepRetries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, nil, []*graph.Node{assign}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(nil, []graph.Endpoint{double.Out(0)}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the (stateless) worker task and restart it on the same address:
+	// its registered handles are gone and the master's cached connection is
+	// dead, so the next step must re-resolve, re-register and rerun.
+	wt := TaskName("worker", 0)
+	addr := servers[wt].Addr()
+	if err := servers[wt].Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWorker("worker", 0, func(task string) (Transport, error) { return resolver(task) })
+	srv2, err := Serve(w2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	out, err := m.Run(nil, []graph.Endpoint{double.Out(0)}, nil)
+	if err != nil {
+		t.Fatalf("step after worker restart should be retried to success, got: %v", err)
+	}
+	if got := out[0].Float32s(); got[0] != 1 || got[1] != 4 {
+		t.Errorf("retried step = %v, want [1 4]", got)
+	}
+}
+
+func TestSaveAndRestoreShard(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "ckpt")
+	w := NewWorker("ps", 0, func(string) (Transport, error) { return nil, errUnknownTask("none") })
+	res := w.Device().Resources()
+	v := res.FindOrCreateVariable("w", tensor.Float32, tensor.Shape{2})
+	if err := v.Assign(tensor.FromFloat32s(tensor.Shape{2}, []float32{3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	res.FindOrCreateVariable("untouched", tensor.Float32, tensor.Shape{2}) // never initialized
+
+	resp, err := w.SaveShard(&SaveShardReq{Prefix: prefix, Step: 7, Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Saved != 1 {
+		t.Errorf("saved %d tensors, want 1 (uninitialized skipped)", resp.Saved)
+	}
+	wantPath := fmt.Sprintf("%s.ps-0-%d", prefix, 7)
+	if resp.Path != wantPath {
+		t.Errorf("shard path = %q, want %q", resp.Path, wantPath)
+	}
+
+	// A restarted task restores its shard before serving.
+	w2 := NewWorker("ps", 0, func(string) (Transport, error) { return nil, errUnknownTask("none") })
+	step, ok, err := w2.RestoreShard(prefix)
+	if err != nil || !ok || step != 7 {
+		t.Fatalf("RestoreShard = %d, %v, %v", step, ok, err)
+	}
+	got, err := w2.Device().Resources().SnapshotVariables()["w"], error(nil)
+	if got == nil {
+		t.Fatal("restored shard missing variable w")
+	}
+	_ = err
+	if f := got.Float32s(); f[0] != 3 || f[1] != 4 {
+		t.Errorf("restored w = %v, want [3 4]", f)
+	}
+
+	// A shard of another task restores nothing.
+	w3 := NewWorker("ps", 1, func(string) (Transport, error) { return nil, errUnknownTask("none") })
+	if _, ok, err := w3.RestoreShard(prefix); err != nil || ok {
+		t.Errorf("foreign shard restore = %v, %v; want no checkpoint", ok, err)
+	}
+}

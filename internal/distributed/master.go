@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/exec"
@@ -38,6 +39,7 @@ type Master struct {
 	devices  []device.Spec
 	defDev   device.Spec
 	optimize bool
+	retries  int
 
 	mu        sync.Mutex
 	cache     map[string]*compiledStep
@@ -72,6 +74,12 @@ type MasterOptions struct {
 	// DefaultDevice receives unconstrained nodes; defaults to the first
 	// cluster device.
 	DefaultDevice string
+	// StepRetries is how many times Run retries a step after a retryable
+	// failure (task unreachable, registered handles lost to a task
+	// restart, §4.3). Each retry drops the compiled-step cache so
+	// subgraphs re-register through freshly resolved transports, and runs
+	// under a new step ID.
+	StepRetries int
 }
 
 // NewMaster creates a master for the graph over the cluster.
@@ -105,6 +113,7 @@ func NewMaster(g *graph.Graph, cluster ClusterSpec, resolver Resolver, opts Mast
 		devices:  devices,
 		defDev:   defDev,
 		optimize: !opts.DisableOptimizations,
+		retries:  opts.StepRetries,
 		cache:    map[string]*compiledStep{},
 		replaced: map[graph.Endpoint]graph.Endpoint{},
 	}, nil
@@ -268,7 +277,11 @@ func (m *Master) compile(feeds, fetches []graph.Endpoint, targets []*graph.Node)
 	return cs, nil
 }
 
-// Run executes one distributed step.
+// Run executes one distributed step. Retryable failures — a task became
+// unreachable or lost its registered subgraphs to a restart (§4.3) — are
+// retried up to MasterOptions.StepRetries times: the compiled-step cache is
+// dropped so subgraphs re-register over freshly resolved transports, and
+// the step reruns under a new step ID.
 func (m *Master) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.Endpoint, targets []*graph.Node) ([]*tensor.Tensor, error) {
 	feedEPs := make([]graph.Endpoint, 0, len(feeds))
 	for ep := range feeds {
@@ -276,6 +289,28 @@ func (m *Master) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.En
 	}
 	sort.Slice(feedEPs, func(i, j int) bool { return feedEPs[i].String() < feedEPs[j].String() })
 
+	for attempt := 0; ; attempt++ {
+		out, err := m.runOnce(feeds, feedEPs, fetches, targets)
+		if err == nil || attempt >= m.retries || !IsRetryable(err) {
+			return out, err
+		}
+		// A restarted task holds none of our handles and the resolver may
+		// cache a dead connection: drop the compiled plans (re-register on
+		// the next compile) and give the task a moment to come back.
+		m.Invalidate()
+		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+	}
+}
+
+// Invalidate drops every compiled step, forcing the next Run to re-register
+// subgraphs on (possibly restarted) workers.
+func (m *Master) Invalidate() {
+	m.mu.Lock()
+	m.cache = map[string]*compiledStep{}
+	m.mu.Unlock()
+}
+
+func (m *Master) runOnce(feeds map[graph.Endpoint]*tensor.Tensor, feedEPs, fetches []graph.Endpoint, targets []*graph.Node) ([]*tensor.Tensor, error) {
 	cs, err := m.compile(feedEPs, fetches, targets)
 	if err != nil {
 		return nil, err
@@ -305,19 +340,26 @@ func (m *Master) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.En
 	}
 	partResps := make([]*RunGraphResp, len(cs.parts))
 	var firstErr error
+	aborted := false
 	for range cs.parts {
 		r := <-results
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("distributed: step %d on %s: %w", stepID, cs.parts[r.idx].task, r.err)
-			// Unblock peers that may be waiting on the failed task.
+			// Abort every participant once: peers blocked on the failed
+			// task unblock, and each aborted RunGraph reclaims its own
+			// residual rendezvous buffers when its executor stops.
+			aborted = true
 			m.endStep(cs, stepID)
 		}
 		partResps[r.idx] = r.resp
 	}
-	// Reclaim per-step rendezvous buffers everywhere.
-	m.endStep(cs, stepID)
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if !aborted {
+		// Success: one end-of-step pass reclaims per-step rendezvous
+		// buffers everywhere.
+		m.endStep(cs, stepID)
 	}
 
 	out := make([]*tensor.Tensor, len(fetches))

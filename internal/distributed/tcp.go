@@ -4,8 +4,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/device"
 )
 
 // The TCP transport speaks a minimal multiplexed RPC: each request carries
@@ -21,6 +24,7 @@ type rpcRequest struct {
 	Run    *RunGraphReq
 	Recv   *RecvTensorReq
 	Abort  *AbortStepReq
+	Save   *SaveShardReq
 }
 
 type rpcResponse struct {
@@ -29,6 +33,7 @@ type rpcResponse struct {
 	Reg  *RegisterGraphResp
 	Run  *RunGraphResp
 	Recv *RecvTensorResp
+	Save *SaveShardResp
 }
 
 // Server exposes a Worker over TCP.
@@ -57,7 +62,8 @@ func Serve(worker *Worker, addr string) (*Server, error) {
 // Addr returns the listener's address.
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the server and its connections.
+// Close stops the server and its connections, cancels the worker's running
+// steps, and waits for every in-flight request handler to return.
 func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
@@ -68,6 +74,7 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.worker.AbortAll()
 	s.wg.Wait()
 	return err
 }
@@ -106,8 +113,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		// Handle each request on its own goroutine so blocking
-		// RecvTensor calls do not stall the connection.
+		// RecvTensor calls do not stall the connection. Dispatches join
+		// s.wg so Close does not return while a handler still runs; the
+		// Add is safe because serveConn itself holds a wg slot until the
+		// decode loop exits.
+		s.wg.Add(1)
 		go func(req rpcRequest) {
+			defer s.wg.Done()
 			resp := s.dispatch(&req, connDone)
 			encMu.Lock()
 			defer encMu.Unlock()
@@ -128,6 +140,8 @@ func (s *Server) dispatch(req *rpcRequest, connDone <-chan struct{}) *rpcRespons
 		resp.Recv, err = s.worker.RecvTensor(req.Recv, connDone)
 	case "AbortStep":
 		err = s.worker.AbortStep(req.Abort)
+	case "SaveShard":
+		resp.Save, err = s.worker.SaveShard(req.Save)
 	default:
 		err = fmt.Errorf("distributed: unknown method %q", req.Method)
 	}
@@ -155,7 +169,7 @@ type Client struct {
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("distributed: dialing %s: %w", addr, err)
+		return nil, fmt.Errorf("distributed: %w: dialing %s: %v", ErrUnavailable, addr, err)
 	}
 	c := &Client{
 		conn:    conn,
@@ -198,9 +212,9 @@ func (c *Client) call(req *rpcRequest, abort <-chan struct{}) (*rpcResponse, err
 		err := c.readErr
 		c.mu.Unlock()
 		if err == nil {
-			err = fmt.Errorf("distributed: client closed")
+			return nil, fmt.Errorf("distributed: %w: client closed", ErrUnavailable)
 		}
-		return nil, err
+		return nil, fmt.Errorf("distributed: %w: %v", ErrUnavailable, err)
 	}
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
@@ -212,7 +226,7 @@ func (c *Client) call(req *rpcRequest, abort <-chan struct{}) (*rpcResponse, err
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("distributed: sending %s: %w", req.Method, err)
+		return nil, fmt.Errorf("distributed: %w: sending %s: %v", ErrUnavailable, req.Method, err)
 	}
 	if abort == nil {
 		abort = make(chan struct{}) // never fires
@@ -220,7 +234,7 @@ func (c *Client) call(req *rpcRequest, abort <-chan struct{}) (*rpcResponse, err
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("distributed: connection lost during %s", req.Method)
+			return nil, fmt.Errorf("distributed: %w: connection lost during %s", ErrUnavailable, req.Method)
 		}
 		if resp.Err != "" {
 			return nil, fmt.Errorf("%s", resp.Err)
@@ -232,6 +246,21 @@ func (c *Client) call(req *rpcRequest, abort <-chan struct{}) (*rpcResponse, err
 		c.mu.Unlock()
 		return nil, fmt.Errorf("distributed: %s aborted", req.Method)
 	}
+}
+
+// Err reports the client's terminal transport error: non-nil once the read
+// loop has failed or Close was called. TCPResolver uses it to evict dead
+// cached clients and redial after a task restart.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("distributed: %w: client closed", ErrUnavailable)
+	}
+	if c.readErr != nil {
+		return fmt.Errorf("distributed: %w: %v", ErrUnavailable, c.readErr)
+	}
+	return nil
 }
 
 // RegisterGraph implements Transport.
@@ -267,6 +296,15 @@ func (c *Client) AbortStep(req *AbortStepReq) error {
 	return err
 }
 
+// SaveShard implements Transport.
+func (c *Client) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "SaveShard", Save: req}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Save, nil
+}
+
 // Close implements Transport.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -275,8 +313,28 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
+// ParseTask splits a "/job:<name>/task:<index>" task name strictly: the
+// index must be a plain non-negative decimal number (no trailing garbage)
+// and the name must not carry a device suffix. A missing "/task:" component
+// means task 0; an explicit negative index is malformed, not task 0.
+func ParseTask(task string) (job string, index int, err error) {
+	spec, perr := device.ParseSpec(task)
+	if perr != nil || spec.Job == "" || spec.Type != "" || spec.ID >= 0 {
+		return "", 0, fmt.Errorf("distributed: malformed task %q", task)
+	}
+	if spec.Task < 0 {
+		if strings.Contains(task, "task:") || strings.Contains(task, "replica:") {
+			return "", 0, fmt.Errorf("distributed: malformed task %q", task)
+		}
+		return spec.Job, 0, nil
+	}
+	return spec.Job, spec.Task, nil
+}
+
 // TCPResolver resolves tasks to cached TCP clients using the cluster spec's
-// addresses (the name-service role of §4.3).
+// addresses (the name-service role of §4.3). A cached client whose
+// connection has died is evicted and redialed, so a restarted task becomes
+// reachable again through the same resolver.
 func TCPResolver(spec ClusterSpec) Resolver {
 	var mu sync.Mutex
 	cache := map[string]*Client{}
@@ -284,18 +342,15 @@ func TCPResolver(spec ClusterSpec) Resolver {
 		mu.Lock()
 		defer mu.Unlock()
 		if c, ok := cache[task]; ok {
-			return c, nil
-		}
-		var job string
-		var idx int
-		if _, err := fmt.Sscanf(task, "/job:%s", &job); err != nil {
-			return nil, fmt.Errorf("distributed: malformed task %q", task)
-		}
-		if i := indexOf(job, "/task:"); i >= 0 {
-			if _, err := fmt.Sscanf(job[i+len("/task:"):], "%d", &idx); err != nil {
-				return nil, fmt.Errorf("distributed: malformed task %q", task)
+			if c.Err() == nil {
+				return c, nil
 			}
-			job = job[:i]
+			c.Close()
+			delete(cache, task)
+		}
+		job, idx, err := ParseTask(task)
+		if err != nil {
+			return nil, err
 		}
 		addr, err := spec.Address(job, idx)
 		if err != nil {
@@ -308,13 +363,4 @@ func TCPResolver(spec ClusterSpec) Resolver {
 		cache[task] = c
 		return c, nil
 	}
-}
-
-func indexOf(s, sub string) int {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return i
-		}
-	}
-	return -1
 }

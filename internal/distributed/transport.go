@@ -28,6 +28,11 @@ func (t *InProc) AbortStep(req *AbortStepReq) error {
 	return t.W.AbortStep(req)
 }
 
+// SaveShard implements Transport.
+func (t *InProc) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
+	return t.W.SaveShard(req)
+}
+
 // Close implements Transport.
 func (t *InProc) Close() error { return nil }
 

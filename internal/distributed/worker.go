@@ -2,6 +2,7 @@ package distributed
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,12 @@ import (
 	"repro/internal/ops"
 	"repro/internal/rendezvous"
 )
+
+// abortMemory bounds how many recently-aborted step IDs a worker remembers
+// so a RunGraph that loses the race against its own AbortStep (the master
+// aborts after a fast-failing peer) still aborts immediately instead of
+// running to completion and leaking rendezvous buffers.
+const abortMemory = 1024
 
 // Worker is the dataflow executor service of one task (§5): it registers
 // subgraphs sent by the master, schedules their kernels on the local
@@ -26,8 +33,12 @@ type Worker struct {
 	mu     sync.Mutex
 	graphs map[string]*registeredGraph
 	steps  map[int64]chan struct{}
-	nextID atomic.Int64
-	closed bool
+	// aborted remembers recently-ended step IDs (FIFO-bounded by abortRing)
+	// so AbortStep arriving before RunGraph still cancels the step.
+	aborted   map[int64]struct{}
+	abortRing []int64
+	nextID    atomic.Int64
+	closed    bool
 }
 
 type registeredGraph struct {
@@ -44,6 +55,7 @@ func NewWorker(job string, taskIndex int, resolver Resolver) *Worker {
 		resolver: resolver,
 		graphs:   map[string]*registeredGraph{},
 		steps:    map[int64]chan struct{}{},
+		aborted:  map[int64]struct{}{},
 	}
 }
 
@@ -62,6 +74,20 @@ func (w *Worker) Reset() {
 	w.dev.Resources().Reset()
 }
 
+// AbortAll cancels every running step. Server.Close calls it so shutdown
+// does not wait on executors blocked in rendezvous receives.
+func (w *Worker) AbortAll() {
+	w.mu.Lock()
+	for _, ch := range w.steps {
+		select {
+		case <-ch:
+		default:
+			close(ch)
+		}
+	}
+	w.mu.Unlock()
+}
+
 // parseRef resolves a "name:index" reference in g.
 func parseRef(g *graph.Graph, ref string) (graph.Endpoint, error) {
 	i := strings.LastIndex(ref, ":")
@@ -72,8 +98,8 @@ func parseRef(g *graph.Graph, ref string) (graph.Endpoint, error) {
 	if n == nil {
 		return graph.Endpoint{}, fmt.Errorf("distributed: ref %q names unknown node", ref)
 	}
-	var idx int
-	if _, err := fmt.Sscanf(ref[i+1:], "%d", &idx); err != nil {
+	idx, err := strconv.Atoi(ref[i+1:])
+	if err != nil || idx < 0 {
 		return graph.Endpoint{}, fmt.Errorf("distributed: malformed endpoint ref %q", ref)
 	}
 	return graph.Endpoint{Node: n, Index: idx}, nil
@@ -124,20 +150,35 @@ func (w *Worker) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("distributed: %s: unknown graph handle %q", w.task, req.Handle)
 	}
+	if _, was := w.aborted[req.StepID]; was {
+		// AbortStep won the race against this RunGraph (the master aborts
+		// every participant after a fast-failing peer): the step is already
+		// over, so don't start executing a subgraph nobody will consume.
+		w.mu.Unlock()
+		return nil, fmt.Errorf("distributed: %s: step %d aborted before it started", w.task, req.StepID)
+	}
 	abort, ok := w.steps[req.StepID]
 	if !ok {
 		abort = make(chan struct{})
 		w.steps[req.StepID] = abort
 	}
 	w.mu.Unlock()
-	// The step's rendezvous entries are NOT cleaned here: peers may still
-	// pull values this partition produced after our executor completes.
-	// The master ends the step on every participant once all partitions
-	// finish (EndStep), which is when buffers are reclaimed.
+	// The step's rendezvous entries are NOT cleaned on success: peers may
+	// still pull values this partition produced after our executor
+	// completes; the master ends the step on every participant once all
+	// partitions finish, which is when buffers are reclaimed. An *aborted*
+	// step is cleaned here instead — the executor has fully stopped by now,
+	// so this sweep also catches sends emitted while it was winding down,
+	// after AbortStep's own cleanup ran.
 	defer func() {
 		w.mu.Lock()
 		delete(w.steps, req.StepID)
 		w.mu.Unlock()
+		select {
+		case <-abort:
+			w.local.CleanupStep(fmt.Sprintf("step %d;", req.StepID))
+		default:
+		}
 	}()
 
 	out, err := rg.ex.Run(exec.RunParams{
@@ -164,6 +205,17 @@ func (w *Worker) AbortStep(req *AbortStepReq) error {
 		case <-ch:
 		default:
 			close(ch)
+		}
+	}
+	// Remember the ID so a RunGraph for this step that is still in flight
+	// (request racing the abort on the network) aborts on arrival instead
+	// of running an already-ended step.
+	if _, ok := w.aborted[req.StepID]; !ok {
+		w.aborted[req.StepID] = struct{}{}
+		w.abortRing = append(w.abortRing, req.StepID)
+		if len(w.abortRing) > abortMemory {
+			delete(w.aborted, w.abortRing[0])
+			w.abortRing = w.abortRing[1:]
 		}
 	}
 	w.mu.Unlock()

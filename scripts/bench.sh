@@ -7,13 +7,13 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
 #   benchtime     go -benchtime value (default 1x: smoke gate)
-#   output        JSON snapshot path (default BENCH_PR4.json)
+#   output        JSON snapshot path (default BENCH_PR5.json)
 #   benchpattern  -bench regexp (default ".": whole suite); use a subset
 #                 with a longer benchtime to refresh the snapshot stably
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
-OUT="${2:-BENCH_PR4.json}"
+OUT="${2:-BENCH_PR5.json}"
 PATTERN="${3:-.}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -30,6 +30,7 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^BenchmarkTrainingStep/      { train_ns = $3 }
   /^BenchmarkWhileTrainingStep/ { while_ns = $3 }
   /^BenchmarkDistributedStep/ { dist_ns = $3 }
+  /^BenchmarkReplicatedTrainingStep/ { repl_ns = $3 }
   /^BenchmarkMatMul\/256x256/ {
     for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops = $i
   }
@@ -42,6 +43,7 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (train_ns != "") lines[n++] = sprintf("  \"training_step_ns\": %s", train_ns)
     if (while_ns != "") lines[n++] = sprintf("  \"while_training_step_ns\": %s", while_ns)
     if (dist_ns != "")  lines[n++] = sprintf("  \"distributed_step_ns\": %s", dist_ns)
+    if (repl_ns != "")  lines[n++] = sprintf("  \"replicated_training_step_ns\": %s", repl_ns)
     if (gflops != "")   lines[n++] = sprintf("  \"matmul_256x256_gflops\": %s", gflops)
     printf "{\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")

@@ -218,6 +218,14 @@ func (gr *Graph) InitOp() *Operation {
 	return &Operation{n: n, g: gr}
 }
 
+// InitNodes returns the registered variable initializers individually, for
+// callers that need selective initialization — tf/train's replication layer
+// probes each initializer's variable and re-runs only the missing ones, so
+// recovering a lost parameter shard never clobbers healthy shards (§4.3).
+func (gr *Graph) InitNodes() []*graph.Node {
+	return append([]*graph.Node(nil), gr.st.inits...)
+}
+
 // Session executes steps of the graph on the local device, caching pruned
 // subgraphs per step signature (§3.2, §5).
 type Session struct {

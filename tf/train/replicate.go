@@ -1,0 +1,626 @@
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/distributed"
+	"repro/internal/graph"
+	"repro/tf"
+)
+
+// This file implements data-parallel replicated training over the real
+// distributed runtime (§4.3, §4.4): model parameters are sharded across the
+// tasks of a "ps" job, each task of a "worker" job runs its own between-graph
+// replica — a private graph and master whose variables alias the shared PS
+// state by name — and updates are coordinated either asynchronously (every
+// replica applies its own gradients, Figure 4a) or synchronously with backup
+// workers (the first m of n replica gradients per step are aggregated and
+// applied once, stragglers' stale updates are discarded, Figure 4c).
+//
+// Fault tolerance is user-level, as in the paper: each master retries steps
+// whose task became unreachable (re-registering subgraphs after the task
+// returns), PS tasks checkpoint their variable shard every CheckpointEvery
+// global steps, and a restarted PS task restores its shard from the newest
+// checkpoint before serving again (§4.3).
+
+// ReplicatedOptions configures a replicated trainer.
+type ReplicatedOptions struct {
+	// Cluster and Resolver name the tasks and locate their transports.
+	Cluster  distributed.ClusterSpec
+	Resolver distributed.Resolver
+	// PSJob and WorkerJob default to "ps" and "worker".
+	PSJob     string
+	WorkerJob string
+	// Optimizer applies gradients; it is required.
+	Optimizer Optimizer
+	// Sync selects synchronous coordination (Figure 4b/4c); Backups is the
+	// number of backup workers b: with n worker tasks, each synchronous
+	// step aggregates the first m = n−b gradients (§4.4).
+	Sync    bool
+	Backups int
+	// CheckpointPrefix enables fault tolerance: every CheckpointEvery
+	// global steps each PS task writes its shard to
+	// "<prefix>.<job>-<task>-<step>" and keeps KeepCheckpoints files.
+	CheckpointPrefix string
+	CheckpointEvery  int // default 10 when a prefix is set
+	KeepCheckpoints  int // default 3
+	// StepRetries is each master's retry budget for failed steps
+	// (default 3).
+	StepRetries int
+}
+
+func (o *ReplicatedOptions) withDefaults() error {
+	if o.PSJob == "" {
+		o.PSJob = "ps"
+	}
+	if o.WorkerJob == "" {
+		o.WorkerJob = "worker"
+	}
+	if o.Optimizer == nil {
+		return fmt.Errorf("train: replicated training needs an optimizer")
+	}
+	if len(o.Cluster[o.PSJob]) == 0 {
+		return fmt.Errorf("train: cluster has no %q tasks", o.PSJob)
+	}
+	if len(o.Cluster[o.WorkerJob]) == 0 {
+		return fmt.Errorf("train: cluster has no %q tasks", o.WorkerJob)
+	}
+	if o.Backups < 0 || (o.Sync && o.Backups >= len(o.Cluster[o.WorkerJob])) {
+		return fmt.Errorf("train: %d backup workers leave no gradients to aggregate", o.Backups)
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
+	}
+	if o.KeepCheckpoints <= 0 {
+		o.KeepCheckpoints = 3
+	}
+	if o.StepRetries == 0 {
+		o.StepRetries = 3
+	}
+	return nil
+}
+
+// ReplicaGraph is the graph handle a ModelFn builds into: compute ops land
+// on the replica's worker task (the embedded view carries the device
+// scope), while Variable shards parameters round-robin across the PS tasks
+// — the device-placement policy of the reference system's
+// replica_device_setter. The round-robin order is the variable creation
+// order, so a deterministic ModelFn yields the same name→shard mapping in
+// every replica, which is what makes same-named variables alias the same
+// PS state.
+type ReplicaGraph struct {
+	*tf.Graph // worker-task-scoped view
+	root      *tf.Graph
+	psTasks   []string
+	vars      []*tf.Variable
+	nextPS    int
+}
+
+// Variable declares a model parameter on the next PS shard.
+func (rb *ReplicaGraph) Variable(name string, initial *tf.Tensor) *tf.Variable {
+	dev := rb.psTasks[rb.nextPS%len(rb.psTasks)]
+	rb.nextPS++
+	v := rb.root.WithDevice(dev).NewVariableFromTensor(name, initial)
+	rb.vars = append(rb.vars, v)
+	return v
+}
+
+// Model is what a ModelFn returns: the scalar training loss and the named
+// input placeholders TrainStep feeds.
+type Model struct {
+	Loss   tf.Output
+	Inputs map[string]tf.Output
+}
+
+// ModelFn builds one replica's model. It runs once per worker task and must
+// be deterministic (same variables, same order) so the replicas agree on
+// parameter names and shards.
+type ModelFn func(rb *ReplicaGraph) (*Model, error)
+
+// globalStepName is the shared step counter's variable name; it lives on PS
+// task 0 and keys checkpoint files (§4.3).
+const globalStepName = "global_step"
+
+type replica struct {
+	g      *tf.Graph
+	master *distributed.Master
+	model  *Model
+	vars   []*tf.Variable
+
+	lossEP graph.Endpoint
+	stepEP graph.Endpoint
+
+	// Async: optimizer update + global-step bump, run by every TrainStep.
+	trainTargets []*graph.Node
+	// Sync: the replica only computes gradients; the chief applies them.
+	gradEPs []graph.Endpoint
+}
+
+type syncPush struct {
+	round int64
+	grads []*tf.Tensor
+}
+
+// Replicated is a data-parallel trainer: one between-graph replica per
+// worker task over shared PS state. Worker loops call TrainStep
+// concurrently; in sync mode an internal chief goroutine aggregates
+// gradients and releases the barrier.
+type Replicated struct {
+	opts ReplicatedOptions
+	reps []*replica
+	m    int // sync: gradients aggregated per step (n − Backups)
+
+	// Chief-side apply graph (sync mode), built on replica 0.
+	applyFeeds   []tf.Output
+	applyTargets []*graph.Node
+	// Per-initializer probes on the chief graph: Init re-runs exactly the
+	// initializers whose variable is uninitialized (a shard lost with no
+	// checkpoint) without clobbering healthy shards.
+	probeEPs  []graph.Endpoint
+	initNodes []*graph.Node
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	round      int64 // completed synchronous rounds
+	err        error // first terminal error; broadcast to all workers
+	closed     bool
+	quitClosed bool
+	dead       map[int]bool // sync replicas whose steps fail terminally
+
+	gradCh chan syncPush
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	saveMu    sync.Mutex
+	lastSaved int64
+	saveErr   error
+}
+
+// NewReplicated builds one replica per worker task (and the chief's apply
+// graph in sync mode). Call Init before the first TrainStep.
+func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
+	if err := opts.withDefaults(); err != nil {
+		return nil, err
+	}
+	numWorkers := len(opts.Cluster[opts.WorkerJob])
+	psTasks := make([]string, len(opts.Cluster[opts.PSJob]))
+	for i := range psTasks {
+		psTasks[i] = distributed.TaskName(opts.PSJob, i)
+	}
+	r := &Replicated{
+		opts:   opts,
+		m:      numWorkers - opts.Backups,
+		gradCh: make(chan syncPush, 4*numWorkers),
+		quit:   make(chan struct{}),
+		dead:   map[int]bool{},
+	}
+	r.cond = sync.NewCond(&r.mu)
+
+	for wi := 0; wi < numWorkers; wi++ {
+		g := tf.NewGraph()
+		wg := g.WithDevice(distributed.TaskName(opts.WorkerJob, wi))
+		rb := &ReplicaGraph{Graph: wg, root: g, psTasks: psTasks}
+		m, err := model(rb)
+		if err != nil {
+			return nil, fmt.Errorf("train: replica %d model: %w", wi, err)
+		}
+		if m == nil || !m.Loss.Valid() {
+			return nil, fmt.Errorf("train: replica %d model has no loss", wi)
+		}
+		psView := g.WithDevice(psTasks[0])
+		gs := psView.NewVariableFromTensor(globalStepName, tf.ScalarInt(0))
+		rep := &replica{g: g, model: m, vars: rb.vars, lossEP: m.Loss.Unwrap(), stepEP: gs.Value().Unwrap()}
+
+		if opts.Sync {
+			// The replica computes (dense) gradients; applying them is the
+			// chief's job, so every worker reads the same parameter
+			// version per round (Figure 4b).
+			eps, err := replicaGradients(wg, m.Loss, rb.vars)
+			if err != nil {
+				return nil, fmt.Errorf("train: replica %d gradients: %w", wi, err)
+			}
+			rep.gradEPs = eps
+			if wi == 0 {
+				// Chief apply graph: placeholders carry the aggregated
+				// means into the optimizer update. The update math is
+				// scoped to the PS (Figure 4b: the parameter servers
+				// apply the aggregated update), so applying a round
+				// touches no worker task — a dead worker covered by a
+				// backup cannot take the aggregator down with it.
+				applyGrads := make([]tf.Gradient, len(rb.vars))
+				r.applyFeeds = make([]tf.Output, len(rb.vars))
+				for i, v := range rb.vars {
+					ph := g.Placeholder(fmt.Sprintf("replicate/mean_grad_%d", i), v.DType(), v.Shape())
+					r.applyFeeds[i] = ph
+					applyGrads[i] = tf.Gradient{Dense: ph}
+				}
+				applyOp, err := opts.Optimizer.ApplyGradients(psView, applyGrads, rb.vars)
+				if err != nil {
+					return nil, err
+				}
+				bump := bumpAfter(psView, gs, applyOp)
+				r.applyTargets = []*graph.Node{applyOp.Node(), bump.Node()}
+			}
+		} else {
+			trainOp, err := opts.Optimizer.Minimize(wg, m.Loss, rb.vars)
+			if err != nil {
+				return nil, fmt.Errorf("train: replica %d optimizer: %w", wi, err)
+			}
+			bump := bumpAfter(psView, gs, trainOp)
+			rep.trainTargets = []*graph.Node{trainOp.Node(), bump.Node()}
+		}
+		if wi == 0 {
+			// One probe per registered initializer — model variables,
+			// optimizer slots, the global step — colocated with its
+			// variable via the reference edge, so each runs on the shard
+			// whose health it reports.
+			for i, n := range g.InitNodes() {
+				probe := g.BuildOp("IsVariableInitialized",
+					fmt.Sprintf("replicate/initialized_%d", i), nil, g.WrapOutput(n.Input(0)))
+				r.probeEPs = append(r.probeEPs, probe.Output(0).Unwrap())
+				r.initNodes = append(r.initNodes, n)
+			}
+		}
+		if err := g.Err(); err != nil {
+			return nil, fmt.Errorf("train: replica %d graph: %w", wi, err)
+		}
+		master, err := distributed.NewMaster(g.Raw(), opts.Cluster, opts.Resolver,
+			distributed.MasterOptions{StepRetries: opts.StepRetries})
+		if err != nil {
+			return nil, err
+		}
+		rep.master = master
+		r.reps = append(r.reps, rep)
+	}
+	return r, nil
+}
+
+// bumpAfter increments the global step strictly after the parameter update
+// has applied. The ordering matters for step retries (§4.3): a failed
+// attempt whose gradients never reached the PS must not advance the
+// counter, or the retried step would count (and checkpoint-key) twice.
+func bumpAfter(psView *tf.Graph, gs *tf.Variable, update *tf.Operation) *tf.Operation {
+	one := psView.IdentityWithControl(psView.Const(int32(1)), update)
+	return gs.AssignAdd(one)
+}
+
+// replicaGradients builds the dense per-variable gradient endpoints of loss.
+func replicaGradients(g *tf.Graph, loss tf.Output, vars []*tf.Variable) ([]graph.Endpoint, error) {
+	xs := make([]tf.Output, len(vars))
+	for i, v := range vars {
+		xs[i] = v.Value()
+	}
+	grads, err := g.Gradients([]tf.Output{loss}, xs)
+	if err != nil {
+		return nil, err
+	}
+	eps := make([]graph.Endpoint, len(grads))
+	for i, gr := range grads {
+		if gr.IsZero() {
+			// The loss does not touch this variable: contribute zeros so
+			// the aggregated tuple stays positional.
+			eps[i] = g.Const(tf.NewTensor(vars[i].DType(), vars[i].Shape())).Unwrap()
+			continue
+		}
+		d, err := g.DensifyGradient(gr)
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = d.Unwrap()
+	}
+	return eps, g.Err()
+}
+
+// Init prepares the shared state variable by variable: initialized state —
+// left by an earlier client, or restored by restarted tasks from their
+// shard checkpoints (§4.3) — is kept untouched, while uninitialized
+// variables (a fresh cluster, or a shard lost before its first checkpoint)
+// get exactly their own initializers run. In sync mode Init also starts the
+// chief aggregator. It returns the global step training resumes from.
+func (r *Replicated) Init() (int64, error) {
+	chief := r.reps[0]
+	probes, err := chief.master.Run(nil, r.probeEPs, nil)
+	if err != nil {
+		return 0, err
+	}
+	var missing []*graph.Node
+	for i, t := range probes {
+		if !t.Bools()[0] {
+			missing = append(missing, r.initNodes[i])
+		}
+	}
+	if len(missing) > 0 {
+		if _, err := chief.master.Run(nil, nil, missing); err != nil {
+			return 0, err
+		}
+	}
+	step, err := r.GlobalStep()
+	if err != nil {
+		return 0, err
+	}
+	r.saveMu.Lock()
+	r.lastSaved = step
+	r.saveMu.Unlock()
+	if r.opts.Sync {
+		r.wg.Add(1)
+		go r.aggregate()
+	}
+	return step, nil
+}
+
+// GlobalStep reads the shared step counter.
+func (r *Replicated) GlobalStep() (int64, error) {
+	out, err := r.reps[0].master.Run(nil, []graph.Endpoint{r.reps[0].stepEP}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(out[0].IntAt(0)), nil
+}
+
+// NumReplicas returns the worker-task count n.
+func (r *Replicated) NumReplicas() int { return len(r.reps) }
+
+// feedMap resolves named feeds against a replica's inputs.
+func (rep *replica) feedMap(feeds map[string]*tf.Tensor) (map[graph.Endpoint]*tf.Tensor, error) {
+	if len(feeds) == 0 {
+		return nil, nil
+	}
+	out := make(map[graph.Endpoint]*tf.Tensor, len(feeds))
+	for name, t := range feeds {
+		in, ok := rep.model.Inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("train: model has no input %q", name)
+		}
+		out[in.Unwrap()] = t
+	}
+	return out, nil
+}
+
+// TrainStep runs one training step on worker wi's replica and returns the
+// replica's loss. Async mode computes and applies gradients in one
+// distributed step (Figure 4a). Sync mode computes gradients against the
+// current parameter version, hands them to the chief tagged with the
+// current round, and blocks until the round completes — which happens as
+// soon as m of the n replicas have contributed, so a straggler (or a
+// crashed worker) does not hold up the step (Figure 4c); its late gradients
+// are discarded as stale.
+func (r *Replicated) TrainStep(wi int, feeds map[string]*tf.Tensor) (float64, error) {
+	rep := r.reps[wi]
+	f, err := rep.feedMap(feeds)
+	if err != nil {
+		return 0, err
+	}
+
+	if !r.opts.Sync {
+		// The step counter only needs to come back to the client to key
+		// checkpoints; without a prefix, skip the extra cross-task fetch
+		// on the hot path.
+		fetches := []graph.Endpoint{rep.lossEP}
+		if r.opts.CheckpointPrefix != "" {
+			fetches = append(fetches, rep.stepEP)
+		}
+		out, err := rep.master.Run(f, fetches, rep.trainTargets)
+		if err != nil {
+			return 0, err
+		}
+		if len(out) > 1 {
+			r.maybeSave(int64(out[1].IntAt(0)))
+		}
+		return out[0].FloatAt(0), nil
+	}
+
+	r.mu.Lock()
+	round, terr := r.round, r.terminalLocked()
+	r.mu.Unlock()
+	if terr != nil {
+		return 0, terr
+	}
+	out, err := rep.master.Run(f, append([]graph.Endpoint{rep.lossEP}, rep.gradEPs...), nil)
+	if err != nil {
+		// The replica's step failed past its retry budget. Backup workers
+		// absorb up to Backups failed replicas (§4.4); once fewer than m
+		// remain failing-free, no round can ever complete, so fail the
+		// trainer instead of leaving the survivors blocked in the barrier
+		// forever. The mark is cleared when the replica steps successfully
+		// again, so a transient outage on one replica does not combine
+		// with a later one elsewhere into a spurious whole-trainer kill.
+		r.mu.Lock()
+		r.dead[wi] = true
+		deadNow := len(r.dead)
+		r.mu.Unlock()
+		if deadNow > r.opts.Backups {
+			r.fail(fmt.Errorf("train: %d replicas failing with %d backup workers (last, replica %d): %w",
+				deadNow, r.opts.Backups, wi, err))
+		}
+		return 0, err
+	}
+	r.mu.Lock()
+	delete(r.dead, wi) // the replica recovered
+	r.mu.Unlock()
+	select {
+	case r.gradCh <- syncPush{round: round, grads: out[1:]}:
+	case <-r.quit:
+		return 0, r.terminal()
+	}
+	// Barrier: wait until the chief finishes this round (with or without
+	// our contribution).
+	r.mu.Lock()
+	for r.round <= round && r.terminalLocked() == nil {
+		r.cond.Wait()
+	}
+	terr = r.terminalLocked()
+	r.mu.Unlock()
+	if terr != nil {
+		return 0, terr
+	}
+	return out[0].FloatAt(0), nil
+}
+
+func (r *Replicated) terminalLocked() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.closed {
+		return fmt.Errorf("train: replicated trainer closed")
+	}
+	return nil
+}
+
+func (r *Replicated) terminal() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.terminalLocked()
+}
+
+// fail records the trainer's terminal error and wakes everyone: workers
+// blocked in the barrier (broadcast) and the aggregator or workers blocked
+// on the gradient channel (quit).
+func (r *Replicated) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil && err != nil {
+		r.err = err
+	}
+	wasClosed := r.quitClosed
+	r.quitClosed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if !wasClosed {
+		close(r.quit)
+	}
+}
+
+// aggregate is the chief loop of Figure 4c: per round, take the first m
+// fresh gradient tuples (dropping tuples computed against an older
+// parameter version), apply their mean through the optimizer, advance the
+// global step, and release the barrier.
+func (r *Replicated) aggregate() {
+	defer r.wg.Done()
+	chief := r.reps[0]
+	for {
+		r.mu.Lock()
+		round := r.round
+		r.mu.Unlock()
+
+		var sums []*tf.Tensor
+		for fresh := 0; fresh < r.m; {
+			var p syncPush
+			select {
+			case p = <-r.gradCh:
+			case <-r.quit:
+				return
+			}
+			if p.round != round {
+				continue // stale: a backup worker's gradients from an earlier round
+			}
+			if sums == nil {
+				sums = make([]*tf.Tensor, len(p.grads))
+				for i, t := range p.grads {
+					sums[i] = t.Clone()
+				}
+			} else {
+				for i, t := range p.grads {
+					for j := 0; j < t.NumElements(); j++ {
+						sums[i].SetFloat(j, sums[i].FloatAt(j)+t.FloatAt(j))
+					}
+				}
+			}
+			fresh++
+		}
+		feeds := make(map[graph.Endpoint]*tf.Tensor, len(sums))
+		for i, t := range sums {
+			for j := 0; j < t.NumElements(); j++ {
+				t.SetFloat(j, t.FloatAt(j)/float64(r.m))
+			}
+			feeds[r.applyFeeds[i].Unwrap()] = t
+		}
+		out, err := chief.master.Run(feeds, []graph.Endpoint{chief.stepEP}, r.applyTargets)
+		if err != nil {
+			r.fail(err)
+			return
+		}
+		r.mu.Lock()
+		r.round++
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		r.maybeSave(int64(out[0].IntAt(0)))
+	}
+}
+
+// maybeSave checkpoints every PS shard when the global step has advanced
+// CheckpointEvery past the last save. Failures do not stop training; they
+// surface through SaveErr.
+func (r *Replicated) maybeSave(step int64) {
+	if r.opts.CheckpointPrefix == "" {
+		return
+	}
+	r.saveMu.Lock()
+	if step < r.lastSaved+int64(r.opts.CheckpointEvery) {
+		r.saveMu.Unlock()
+		return
+	}
+	r.lastSaved = step
+	r.saveMu.Unlock()
+	if err := r.saveShards(step); err != nil {
+		r.saveMu.Lock()
+		r.saveErr = err
+		r.saveMu.Unlock()
+	}
+}
+
+// SaveNow checkpoints every PS shard at the current global step.
+func (r *Replicated) SaveNow() error {
+	step, err := r.GlobalStep()
+	if err != nil {
+		return err
+	}
+	r.saveMu.Lock()
+	r.lastSaved = step
+	r.saveMu.Unlock()
+	return r.saveShards(step)
+}
+
+func (r *Replicated) saveShards(step int64) error {
+	var firstErr error
+	for i := range r.opts.Cluster[r.opts.PSJob] {
+		task := distributed.TaskName(r.opts.PSJob, i)
+		tr, err := r.opts.Resolver(task)
+		if err == nil {
+			_, err = tr.SaveShard(&distributed.SaveShardReq{
+				Prefix: r.opts.CheckpointPrefix,
+				Step:   step,
+				Keep:   r.opts.KeepCheckpoints,
+			})
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("train: checkpointing %s: %w", task, err)
+		}
+	}
+	return firstErr
+}
+
+// SaveErr returns the most recent background checkpoint failure, if any.
+func (r *Replicated) SaveErr() error {
+	r.saveMu.Lock()
+	defer r.saveMu.Unlock()
+	return r.saveErr
+}
+
+// Close stops the chief aggregator and unblocks waiting workers. It does
+// not touch the PS state, which outlives the trainer (§4.3).
+func (r *Replicated) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	wasClosed := r.quitClosed
+	r.quitClosed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	if !wasClosed {
+		close(r.quit)
+	}
+	r.wg.Wait()
+}
