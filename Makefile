@@ -1,7 +1,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race race-hot bench bench-smoke
+.PHONY: ci fmt vet build test race race-hot bench bench-smoke golden
 
 # Tier-1 gate: everything must be gofmt-clean, vet, build, and test
 # green, the concurrency-heavy packages must pass under the race
@@ -28,12 +28,19 @@ race:
 	$(GO) test -race -count=1 ./...
 
 # The executor, the distributed runtime (including the kill-and-recover
-# fault-tolerance integration test) and the replicated-training layer are
-# where concurrent steps, rendezvous, abort and retry paths interleave;
-# they run race-enabled on every CI pass (full -race stays available as
-# `make race`).
+# fault-tolerance integration test), the replicated-training layer and the
+# client library (whose fused-vs-unfused gradient checks exercise planned
+# buffers across concurrent steps) are where concurrent steps, rendezvous,
+# abort and retry paths interleave; they run race-enabled on every CI pass
+# (full -race stays available as `make race`).
 race-hot:
-	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./tf/train/...
+	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./tf/train/... ./tf
+
+# Refresh the committed snapshot of the optimization pipeline's output
+# (tf/testdata/optimized_graph.golden). Run after deliberately changing a
+# pass; the golden test fails on any accidental drift.
+golden:
+	$(GO) test ./tf -run TestOptimizedGraphGolden -update -count=1
 
 # Full benchmark pass: runs every root benchmark once and refreshes the
 # committed BENCH_PR5.json snapshot (pass BENCHTIME=2s for stable numbers).

@@ -4,7 +4,7 @@
 // choices described in ARCHITECTURE.md (see "Executor scheduling and
 // memory reuse"). cmd/tfbench prints the same results as formatted tables;
 // EXPERIMENTS.md records a snapshot, and scripts/bench.sh regenerates the
-// machine-readable BENCH_PR3.json.
+// machine-readable BENCH_PR6.json.
 package repro_test
 
 import (
@@ -484,6 +484,84 @@ func BenchmarkAblationExecutorControlFlowPath(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAblationFusedKernels quantifies the kernel-fusion pass on the
+// same end-to-end training step as BenchmarkTrainingStep: one session with
+// the full pipeline, one with the fusion pass disabled (folding and CSE
+// stay on, so the delta is fusion alone). The backward graph consumes the
+// chain interiors, so fusion contracts each MatMul+BiasAdd pair into one
+// FusedMatMul dispatch with no intermediate product tensor.
+func BenchmarkAblationFusedKernels(b *testing.B) {
+	build := func(disableFusion bool) (*tf.Session, map[tf.Output]*tf.Tensor, *tf.Operation, error) {
+		g := tf.NewGraph()
+		g.SetSeed(1)
+		x := g.Placeholder("x", tf.Float32, tf.Shape{32, 64})
+		y := g.Placeholder("y", tf.Int32, tf.Shape{32})
+		logits, vars := nn.Classifier(g, "clf", x, []int{128, 64}, 10)
+		loss := nn.CrossEntropyLoss(g, logits, y, 0, nil)
+		opt := &train.GradientDescent{LearningRate: 0.01}
+		trainOp, err := opt.Minimize(g, loss, vars)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sess, err := tf.NewSession(g, tf.SessionOptions{DisableFusion: disableFusion})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := sess.RunTargets(g.InitOp()); err != nil {
+			return nil, nil, nil, err
+		}
+		feeds := map[tf.Output]*tf.Tensor{
+			x: tf.NewRNG(1).Uniform(tf.Float32, tf.Shape{32, 64}, -1, 1),
+			y: tf.NewRNG(2).UniformInt(tf.Int32, tf.Shape{32}, 10),
+		}
+		return sess, feeds, trainOp, nil
+	}
+	for _, disable := range []bool{false, true} {
+		name := "fused"
+		if disable {
+			name = "unfused"
+		}
+		b.Run(name, func(b *testing.B) {
+			sess, feeds, trainOp, err := build(disable)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Run(feeds, nil, trainOp); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Run(feeds, nil, trainOp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatMulGFLOPS measures the packed, cache-blocked matrix-multiply
+// kernel across sizes and both float widths (the headline kernel number the
+// ROADMAP tracks; BenchmarkMatMul keeps the original two float32 sizes for
+// snapshot continuity).
+func BenchmarkMatMulGFLOPS(b *testing.B) {
+	for _, dt := range []tensor.DType{tensor.Float32, tensor.Float64} {
+		for _, n := range []int{64, 256, 512} {
+			b.Run(fmt.Sprintf("%s/%dx%d", dt, n, n), func(b *testing.B) {
+				x := tensor.NewRNG(1).Uniform(dt, tensor.Shape{n, n}, -1, 1)
+				y := tensor.NewRNG(2).Uniform(dt, tensor.Shape{n, n}, -1, 1)
+				b.SetBytes(int64(3 * dt.Size() * n * n))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := tensor.MatMul(x, y, false, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(2*float64(n)*float64(n)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
 	}
 }
 

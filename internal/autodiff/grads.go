@@ -259,6 +259,45 @@ func registerStandardGradients() {
 		return []Grad{DenseGrad(g), DenseGrad(b.Op1("BiasAddGrad", g))}, nil
 	})
 
+	// FusedMatMul(a, b[, bias]) = activation(op(a)·op(b) + bias). The fusion
+	// pass normally runs after gradient construction, but a fused node can
+	// itself be differentiated (e.g. a loss built on an already-optimized
+	// inference graph). The Relu gate uses the fused OUTPUT: relu(x) > 0 iff
+	// x > 0, so the post-activation value carries the same mask as the
+	// unavailable pre-activation sum.
+	RegisterGradient("FusedMatMul", func(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {
+		g, err := dense(b, out[0])
+		if err != nil {
+			return nil, err
+		}
+		if n.AttrString("activation", "") == "Relu" {
+			g = b.Op2("ReluGrad", g, n.Out(0))
+		}
+		ta := n.AttrBool("transpose_a", false)
+		tb := n.AttrBool("transpose_b", false)
+		a, bb := n.Input(0), n.Input(1)
+		var ga, gb graph.Endpoint
+		switch {
+		case !ta && !tb:
+			ga = b.MatMul(g, bb, false, true)
+			gb = b.MatMul(a, g, true, false)
+		case !ta && tb:
+			ga = b.MatMul(g, bb, false, false)
+			gb = b.MatMul(g, a, true, false)
+		case ta && !tb:
+			ga = b.MatMul(bb, g, false, true)
+			gb = b.MatMul(a, g, false, false)
+		default:
+			ga = b.MatMul(bb, g, true, true)
+			gb = b.MatMul(g, a, true, true)
+		}
+		grads := []Grad{DenseGrad(ga), DenseGrad(gb)}
+		if n.NumInputs() == 3 {
+			grads = append(grads, DenseGrad(b.Op1("BiasAddGrad", g)))
+		}
+		return grads, nil
+	})
+
 	for _, spec := range []struct{ op, grad string }{{"Sum", "SumGrad"}, {"Mean", "MeanGrad"}} {
 		gradOp := spec.grad
 		RegisterGradient(spec.op, func(b *build.B, n *graph.Node, out []Grad) ([]Grad, error) {

@@ -23,10 +23,15 @@ import (
 
 // Options configures a Session.
 type Options struct {
-	// Optimize enables the master-style graph optimizations (§5):
-	// common-subexpression elimination and constant folding, applied
-	// lazily the first time a subgraph is compiled.
+	// Optimize enables the master-style graph optimization pipeline (§5):
+	// constant folding, common-subexpression elimination, kernel fusion
+	// and dead-node marking, applied lazily the first time a subgraph is
+	// compiled.
 	Optimize bool
+	// DisableFusion keeps Optimize's folding and CSE but skips the
+	// kernel-fusion pass (used by ablation benchmarks and as an escape
+	// hatch for kernels under debugging).
+	DisableFusion bool
 	// DeviceType selects the kernel set; defaults to "CPU".
 	DeviceType string
 }
@@ -96,8 +101,11 @@ func signature(feeds []graph.Endpoint, fetches []graph.Endpoint, targets []*grap
 	return strings.Join(parts, ";")
 }
 
-// optimizeOnce applies CSE and constant folding the first time any subgraph
-// is compiled. The replacement map remaps endpoints that moved.
+// optimizeOnce runs the compile-time pass pipeline (folding, CSE, fusion,
+// dead-marking — graph.NewPipeline) the first time any subgraph is
+// compiled. The replacement map remaps endpoints that moved. Errors are
+// deliberately non-fatal: an unoptimized graph is still correct, and every
+// pass leaves the graph consistent even when a later one fails.
 func (s *Session) optimizeOnce() {
 	if s.optimized || !s.opts.Optimize {
 		s.optimized = true
@@ -107,13 +115,12 @@ func (s *Session) optimizeOnce() {
 		return
 	}
 	s.optimized = true
-	s.replaced = graph.CSE(s.g)
-	_, folded, err := graph.FoldConstants(s.g, exec.Evaluator(s.opts.DeviceType, s.dev.Resources()))
-	if err == nil {
-		for from, to := range folded {
-			s.replaced[from] = to
-		}
-	}
+	pipe := graph.NewPipeline(
+		exec.Evaluator(s.opts.DeviceType, s.dev.Resources()),
+		graph.PipelineOptions{DisableFusion: s.opts.DisableFusion},
+	)
+	res, _ := pipe.Run(s.g)
+	s.replaced = res.Replaced
 }
 
 // Executable compiles (or returns the cached) subgraph for a step

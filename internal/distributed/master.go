@@ -141,17 +141,18 @@ func (m *Master) compile(feeds, fetches []graph.Endpoint, targets []*graph.Node)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	// Master-side optimization pass (§5), once per graph.
+	// Master-side optimization pipeline (§5), once per graph: constant
+	// folding, CSE, kernel fusion, dead-marking. The fusion pass only
+	// merges nodes with identical device constraints, so it never crosses
+	// a partition boundary.
 	if !m.optimized {
 		m.optimized = true
 		if m.optimize {
-			m.replaced = graph.CSE(m.g)
-			_, folded, err := graph.FoldConstants(m.g, exec.Evaluator("CPU", nil))
-			if err == nil {
-				for from, to := range folded {
-					m.replaced[from] = to
-				}
-			}
+			pipe := graph.NewPipeline(exec.Evaluator("CPU", nil), graph.PipelineOptions{})
+			// Take the replacements even on error: each pass leaves the
+			// graph consistent, and the map reflects rewires already made.
+			res, _ := pipe.Run(m.g)
+			m.replaced = res.Replaced
 		}
 	}
 	remFetches := make([]graph.Endpoint, len(fetches))

@@ -108,6 +108,15 @@ type Executable struct {
 	feedSlots   []feedSlot
 	initPending []int32 // prototype pending counters, copied on step reset
 
+	// Static memory plan (plan.go): bufPlan parallels the output arena and
+	// maps each output slot to a persistent step buffer, or -1 for a plain
+	// heap allocation. planned gates the Allocator wiring so unplanned
+	// executables pay nothing.
+	bufPlan        []int32
+	numBufs        int
+	plannedOutputs int
+	planned        bool
+
 	// Persistent worker pool: one work queue shared by every step of this
 	// executable; workers outlive individual steps (see pool.go).
 	queue      chan poolItem
@@ -264,6 +273,11 @@ func Compile(g *graph.Graph, feeds, fetches []graph.Endpoint, targets []*graph.N
 			}
 		}
 	}
+
+	// Static memory plan: persistent, recyclable output buffers for the
+	// fast path (plan.go). Requires the arena layout and fetch plan above.
+	ex.planMemory()
+	ex.planned = ex.plannedOutputs > 0
 
 	// Worker pool sizing. The queue is shared by all concurrent steps;
 	// senders fall back to inline execution when it fills, so the capacity

@@ -1,0 +1,170 @@
+package exec_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// negChain builds x → Neg → Neg → ... (depth times) and fetches the last.
+func negChain(t *testing.T, depth int) (*graph.Graph, graph.Endpoint, graph.Endpoint) {
+	t.Helper()
+	g := graph.New()
+	ph := addNode(t, g, "Placeholder", nil, graph.NodeArgs{
+		Name: "x", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{2, 2}},
+	})
+	cur := ph.Out(0)
+	for i := 0; i < depth; i++ {
+		cur = addNode(t, g, "Neg", []graph.Endpoint{cur}, graph.NodeArgs{}).Out(0)
+	}
+	return g, ph.Out(0), cur
+}
+
+// TestMemoryPlanChainReuse pins the planner's shape on a linear chain of
+// four Negs: the fetched output is never planned, a node may not write in
+// place over its own input (so adjacent Negs get distinct buffers), and the
+// third Neg reuses the first's buffer once its reader is done.
+func TestMemoryPlanChainReuse(t *testing.T) {
+	g, feed, fetch := negChain(t, 4)
+	ex, err := exec.Compile(g, []graph.Endpoint{feed}, []graph.Endpoint{fetch}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.PlannedOutputs(); got != 3 {
+		t.Errorf("PlannedOutputs = %d, want 3 (the fetched Neg must stay unplanned)", got)
+	}
+	if got := ex.PlannedBuffers(); got != 2 {
+		t.Errorf("PlannedBuffers = %d, want 2 (neg3 reuses neg1's buffer)", got)
+	}
+
+	rm := device.NewResourceManager()
+	for stepID := int64(1); stepID <= 5; stepID++ {
+		x := tensor.FromFloat32s(tensor.Shape{2, 2}, []float32{
+			float32(stepID), 2, 3, 4,
+		})
+		out, err := ex.Run(exec.RunParams{FeedValues: []*tensor.Tensor{x}, Resources: rm, StepID: stepID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out[0].FloatAt(0); got != float64(stepID) {
+			t.Fatalf("step %d: fetch[0] = %v, want %v (dirty recycled buffer leaked)", stepID, got, stepID)
+		}
+	}
+}
+
+// TestMemoryPlanSkipsRetainingConsumers: an output consumed by Assign (a
+// retaining, stateful kernel) must not be planned, or the variable would
+// alias a buffer the next step rewrites.
+func TestMemoryPlanSkipsRetainingConsumers(t *testing.T) {
+	g := graph.New()
+	ph := addNode(t, g, "Placeholder", nil, graph.NodeArgs{
+		Name: "x", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	n1 := addNode(t, g, "Neg", []graph.Endpoint{ph.Out(0)}, graph.NodeArgs{})
+	v := addNode(t, g, "Variable", nil, graph.NodeArgs{
+		Name: "v", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.ScalarShape()},
+	})
+	assign := addNode(t, g, "Assign", []graph.Endpoint{v.Out(0), n1.Out(0)}, graph.NodeArgs{})
+	ex, err := exec.Compile(g, []graph.Endpoint{ph.Out(0)}, nil, []*graph.Node{assign}, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ex.PlannedOutputs(); got != 0 {
+		t.Errorf("PlannedOutputs = %d, want 0 (Assign retains its input)", got)
+	}
+}
+
+// TestMemoryPlanConcurrentSteps checks step isolation: concurrent Runs each
+// borrow their own pooled step, so their planned buffers must never mix.
+func TestMemoryPlanConcurrentSteps(t *testing.T) {
+	g, feed, fetch := negChain(t, 6)
+	ex, err := exec.Compile(g, []graph.Endpoint{feed}, []graph.Endpoint{fetch}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlannedOutputs() == 0 {
+		t.Fatal("chain produced no planned outputs; test is vacuous")
+	}
+	rm := device.NewResourceManager()
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				want := float64(w*iters + i + 1)
+				x := tensor.FromFloat32s(tensor.Shape{2, 2}, []float32{float32(want), 0, 0, 0})
+				out, err := ex.Run(exec.RunParams{
+					FeedValues: []*tensor.Tensor{x},
+					Resources:  rm,
+					StepID:     int64(want),
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := out[0].FloatAt(0); math.Abs(got-want) > 0 {
+					errs <- fmt.Errorf("worker %d iter %d: got %v, want %v", w, i, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestMemoryPlanMatMulChain runs a small dense model shape (FusedMatMul
+// feeding reductions) through planned buffers and checks numerics against
+// the first step on every subsequent step.
+func TestMemoryPlanMatMulChain(t *testing.T) {
+	g := graph.New()
+	ph := addNode(t, g, "Placeholder", nil, graph.NodeArgs{
+		Name: "x", Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{4, 3}},
+	})
+	w := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Attrs: map[string]any{"value": tensor.FromFloat32s(tensor.Shape{3, 2}, []float32{1, 2, 3, 4, 5, 6})},
+	})
+	b := addNode(t, g, "Const", nil, graph.NodeArgs{
+		Attrs: map[string]any{"value": tensor.FromFloat32s(tensor.Shape{2}, []float32{-1, 1})},
+	})
+	fm := addNode(t, g, "FusedMatMul", []graph.Endpoint{ph.Out(0), w.Out(0), b.Out(0)},
+		graph.NodeArgs{Attrs: map[string]any{"activation": "Relu"}})
+	sum := addNode(t, g, "Sum", []graph.Endpoint{fm.Out(0)}, graph.NodeArgs{})
+	ex, err := exec.Compile(g, []graph.Endpoint{ph.Out(0)}, []graph.Endpoint{sum.Out(0)}, nil, "CPU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.PlannedOutputs() == 0 {
+		t.Fatal("FusedMatMul output not planned")
+	}
+	rm := device.NewResourceManager()
+	x := tensor.FromFloat32s(tensor.Shape{4, 3}, []float32{
+		1, 2, 3, -4, 5, -6, 7, 8, 9, 0, 1, 0,
+	})
+	var want float64
+	for i := 0; i < 10; i++ {
+		out, err := ex.Run(exec.RunParams{FeedValues: []*tensor.Tensor{x}, Resources: rm, StepID: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = out[0].FloatAt(0)
+			continue
+		}
+		if got := out[0].FloatAt(0); got != want {
+			t.Fatalf("step %d: sum = %v, want %v (planned buffer corrupted)", i+1, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ops"
+	"repro/internal/tensor"
 )
 
 // This file holds the executable-lifetime run-time machinery: the
@@ -132,6 +133,7 @@ func (ex *Executable) getStep(p RunParams) *step {
 			s.fastPending = make([]int32, n)
 			s.inArena = make([]ops.Value, ex.inOff[n])
 			s.outArena = make([]ops.Value, ex.outOff[n])
+			s.bufs = make([]*tensor.Tensor, ex.numBufs)
 		}
 	} else {
 		s.errOnce = sync.Once{}
@@ -170,6 +172,8 @@ func (ex *Executable) putStep(s *step) {
 	} else {
 		clear(s.inArena)
 		clear(s.outArena)
+		// s.bufs is deliberately NOT cleared: the planned buffers are the
+		// step's persistent arena, reused by the next Run (plan.go).
 	}
 	clear(s.fetched)
 	clear(s.fetchSet)

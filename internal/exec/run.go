@@ -160,6 +160,10 @@ type step struct {
 	fastPending []int32
 	inArena     []ops.Value
 	outArena    []ops.Value
+	// bufs is the static memory plan's buffer table (plan.go), indexed by
+	// Executable.bufPlan. Unlike the arenas it survives putStep: keeping
+	// the tensors across Runs is what removes steady-state allocations.
+	bufs []*tensor.Tensor
 
 	// Slow path: dense root states + dynamic loop frames.
 	rootStates []*nodeState
@@ -294,12 +298,38 @@ func (s *step) finish(n int64) {
 	}
 }
 
-// initCtx fills the step-invariant fields of a reusable op context.
+// initCtx fills the step-invariant fields of a reusable op context. The
+// allocator is wired only for planned executables (fast path); contexts are
+// reused across steps by pool workers, so an unplanned step must clear it.
 func (s *step) initCtx(ctx *ops.OpContext) {
 	ctx.Resources = s.p.Resources
 	ctx.Rendezvous = s.p.Rendezvous
 	ctx.StepID = s.p.StepID
 	ctx.Abort = s.abort
+	if s.ex.planned {
+		ctx.Allocator = s
+	} else {
+		ctx.Allocator = nil
+	}
+}
+
+// AllocOutput implements ops.OutputAllocator: output slots covered by the
+// static memory plan draw from the step's persistent buffer table (reusing
+// the tensor left by a dead predecessor or a previous Run); everything else
+// heap-allocates as before. The buffer survives putStep on purpose — the
+// next Run of this pooled step overwrites it, which is exactly why fetched
+// and retained outputs are never planned.
+func (s *step) AllocOutput(node int32, outIdx int, dt tensor.DType, shape tensor.Shape) *tensor.Tensor {
+	bi := s.ex.bufPlan[s.ex.outOff[node]+int32(outIdx)]
+	if bi < 0 {
+		return tensor.New(dt, shape)
+	}
+	if t := s.bufs[bi]; t != nil && t.CanHold(dt, shape) {
+		return t.ViewAs(shape)
+	}
+	t := tensor.New(dt, shape)
+	s.bufs[bi] = t
+	return t
 }
 
 // --- fast path (no control flow) -------------------------------------------
@@ -317,6 +347,7 @@ func (s *step) runChain(node int, ctx *ops.OpContext) {
 		en := ex.nodes[node]
 		outputs := s.outArena[ex.outOff[node]:ex.outOff[node+1]:ex.outOff[node+1]]
 		ctx.Node = en.node
+		ctx.AllocNode = int32(node)
 		ctx.Inputs = s.inArena[ex.inOff[node]:ex.inOff[node+1]:ex.inOff[node+1]]
 		ctx.Outputs = outputs
 		if err := en.kernel(ctx); err != nil {

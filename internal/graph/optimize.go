@@ -39,6 +39,50 @@ func (g *Graph) rewriteInputs(from, to Endpoint) {
 	}
 }
 
+// rewriteControl redirects every control edge sourced at `from` to `to`.
+// Optimization passes call it when a node is folded, merged or fused away:
+// a rewrite that leaves another node's control input pointing at the dead
+// producer would silently drop the ordering constraint (the dead node is
+// never scheduled), so the edge is rehomed onto the replacement, which runs
+// at or after the point the original would have. Edges that would become
+// self-loops or duplicates are dropped.
+func (g *Graph) rewriteControl(from, to *Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, n := range g.nodes {
+		hit := false
+		for _, c := range n.control {
+			if c == from {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		kept := n.control[:0]
+		for _, c := range n.control {
+			if c == from {
+				c = to
+			}
+			if c == n {
+				continue
+			}
+			dup := false
+			for _, k := range kept {
+				if k == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept = append(kept, c)
+			}
+		}
+		n.control = kept
+	}
+}
+
 // signature returns a canonical identity string for CSE, or "" if the node
 // must not be deduplicated.
 func (n *Node) signature() string {
@@ -105,6 +149,7 @@ func CSE(g *Graph) map[Endpoint]Endpoint {
 			if canon == n {
 				continue
 			}
+			merged := false
 			for i := 0; i < n.NumOutputs(); i++ {
 				from, to := n.Out(i), canon.Out(i)
 				if _, done := replaced[from]; done {
@@ -112,7 +157,14 @@ func CSE(g *Graph) map[Endpoint]Endpoint {
 				}
 				g.rewriteInputs(from, to)
 				replaced[from] = to
+				merged = true
 				changed = true
+			}
+			if merged {
+				// The duplicate may gate other nodes via control edges;
+				// rehome them onto the canonical producer so the ordering
+				// constraint survives the merge.
+				g.rewriteControl(n, canon)
 			}
 		}
 		if !changed {
@@ -172,6 +224,7 @@ func FoldConstants(g *Graph, eval Evaluator) (int, map[Endpoint]Endpoint, error)
 				// An op the evaluator cannot fold is skipped, not fatal.
 				continue
 			}
+			var first *Node
 			for i, out := range outs {
 				c, err := g.AddNode("Const", nil, NodeArgs{
 					Name:   n.name + "/folded",
@@ -181,10 +234,17 @@ func FoldConstants(g *Graph, eval Evaluator) (int, map[Endpoint]Endpoint, error)
 				if err != nil {
 					return folded, replaced, fmt.Errorf("graph: folding %s: %w", n.name, err)
 				}
+				if first == nil {
+					first = c
+				}
 				from, to := n.Out(i), c.Out(0)
 				g.rewriteInputs(from, to)
 				replaced[from] = to
 			}
+			// Nodes control-gated by the folded producer must stay gated:
+			// rehome their control edges onto the replacement Const (which
+			// completes trivially, preserving the edge without the work).
+			g.rewriteControl(n, first)
 			folded++
 			changed = true
 		}
@@ -203,4 +263,190 @@ func Remap(replaced map[Endpoint]Endpoint, e Endpoint) Endpoint {
 		}
 		e = to
 	}
+}
+
+// --- Pass pipeline -------------------------------------------------------
+
+// Result accumulates what a pipeline run did to the graph. Replaced is the
+// union of every pass's endpoint rewrites; callers remap fetch endpoints
+// through it with Remap (entries may chain across passes — e.g. a folded
+// endpoint whose Const was then merged by CSE).
+type Result struct {
+	Replaced map[Endpoint]Endpoint
+	Folded   int // nodes replaced by Const via constant folding
+	Merged   int // duplicate nodes merged by CSE
+	Fused    int // kernel-fusion rewrites applied
+	Dead     int // nodes marked dead (stats only; Prune stays authoritative)
+}
+
+// Pass is one named rewrite over a graph. Passes mutate consumer wiring in
+// place, record endpoint moves in res.Replaced, and must run before any
+// step executes the graph.
+type Pass struct {
+	Name string
+	Run  func(g *Graph, res *Result) error
+}
+
+// Pipeline is an ordered list of optimization passes.
+type Pipeline struct {
+	Passes []Pass
+}
+
+// PipelineOptions configures NewPipeline.
+type PipelineOptions struct {
+	// DisableFusion omits the kernel-fusion pass (FusedMatMul and
+	// cross-entropy rewrites); folding, CSE and dead-marking still run.
+	DisableFusion bool
+}
+
+// NewPipeline builds the standard compile-time pipeline (§5), in order:
+//
+//	FoldConstants  evaluate Const-fed stateless nodes at compile time
+//	CSE            merge identical stateless nodes
+//	Fuse           rewrite hot chains onto fused kernels
+//	MarkDead       tag nodes no live consumer can reach (stats/tooling)
+//
+// Folding runs first so CSE sees canonical Consts; fusion runs after both
+// so it pattern-matches the cleaned-up graph (and, when invoked after
+// gradient construction, sees gradient consumers and correctly refuses to
+// fuse interior values the backward pass reads).
+func NewPipeline(eval Evaluator, opts PipelineOptions) *Pipeline {
+	p := &Pipeline{Passes: []Pass{FoldConstantsPass(eval), CSEPass()}}
+	if !opts.DisableFusion {
+		p.Passes = append(p.Passes, FusePass())
+	}
+	p.Passes = append(p.Passes, MarkDeadPass())
+	return p
+}
+
+// Run applies the passes in order and returns the accumulated result.
+func (p *Pipeline) Run(g *Graph) (*Result, error) {
+	res := &Result{Replaced: map[Endpoint]Endpoint{}}
+	for _, pass := range p.Passes {
+		if err := pass.Run(g, res); err != nil {
+			return res, fmt.Errorf("graph: %s pass: %w", pass.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// FoldConstantsPass wraps FoldConstants as a pipeline pass.
+func FoldConstantsPass(eval Evaluator) Pass {
+	return Pass{Name: "fold-constants", Run: func(g *Graph, res *Result) error {
+		n, replaced, err := FoldConstants(g, eval)
+		res.Folded += n
+		mergeReplaced(res, replaced)
+		return err
+	}}
+}
+
+// CSEPass wraps CSE as a pipeline pass.
+func CSEPass() Pass {
+	return Pass{Name: "cse", Run: func(g *Graph, res *Result) error {
+		replaced := CSE(g)
+		res.Merged += len(replaced)
+		mergeReplaced(res, replaced)
+		return nil
+	}}
+}
+
+// FusePass wraps Fuse (fuse.go) as a pipeline pass.
+func FusePass() Pass {
+	return Pass{Name: "fuse", Run: func(g *Graph, res *Result) error {
+		n, replaced, err := Fuse(g)
+		res.Fused += n
+		mergeReplaced(res, replaced)
+		return err
+	}}
+}
+
+// MarkDeadPass wraps MarkDead as a pipeline pass.
+func MarkDeadPass() Pass {
+	return Pass{Name: "mark-dead", Run: func(g *Graph, res *Result) error {
+		res.Dead += MarkDead(g, res.Replaced)
+		return nil
+	}}
+}
+
+func mergeReplaced(res *Result, m map[Endpoint]Endpoint) {
+	for from, to := range m {
+		res.Replaced[from] = to
+	}
+}
+
+// DeadAttr marks a node earlier passes disconnected from every possible
+// consumer. The marking is informational — per-step Prune remains the
+// authority on what executes — but tooling (stats, golden-graph snapshots)
+// uses it to render the effective post-optimization graph.
+const DeadAttr = "_dead"
+
+// Dead reports whether an optimization pass marked the node dead.
+func (n *Node) Dead() bool { return n.AttrBool(DeadAttr, false) }
+
+// MarkDead tags nodes that no live node consumes, seeded by the pipeline's
+// replacement map: a node all of whose outputs were replaced is dead unless
+// something still reads or control-depends on it, and deadness propagates
+// to producers whose every consumer is dead. Stateful nodes are never
+// marked (they may be run as targets), and neither are terminal nodes that
+// were not superseded (they are likely fetch or target roots). Returns the
+// number of nodes marked.
+func MarkDead(g *Graph, replaced map[Endpoint]Endpoint) int {
+	nodes := g.Nodes()
+	dataCons := make(map[*Node][]*Node, len(nodes))
+	ctrlCons := make(map[*Node][]*Node, len(nodes))
+	for _, n := range nodes {
+		for _, in := range n.Inputs() {
+			dataCons[in.Node] = append(dataCons[in.Node], n)
+		}
+		for _, c := range n.ControlInputs() {
+			ctrlCons[c] = append(ctrlCons[c], n)
+		}
+	}
+	superseded := func(n *Node) bool {
+		for i := 0; i < n.NumOutputs(); i++ {
+			if _, ok := replaced[n.Out(i)]; !ok {
+				return false
+			}
+		}
+		return n.NumOutputs() > 0
+	}
+	dead := make(map[*Node]bool)
+	for {
+		changed := false
+		for _, n := range nodes {
+			if dead[n] || n.Stateful() || nonOptimizable(n.op) {
+				continue
+			}
+			hasConsumer := len(dataCons[n])+len(ctrlCons[n]) > 0
+			if !hasConsumer && !superseded(n) {
+				continue // terminal node that was never rewritten: a root
+			}
+			allDead := true
+			for _, c := range dataCons[n] {
+				if !dead[c] {
+					allDead = false
+					break
+				}
+			}
+			if allDead {
+				for _, c := range ctrlCons[n] {
+					if !dead[c] {
+						allDead = false
+						break
+					}
+				}
+			}
+			if allDead {
+				dead[n] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for n := range dead {
+		n.SetAttr(DeadAttr, true)
+	}
+	return len(dead)
 }

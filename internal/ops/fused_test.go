@@ -1,0 +1,131 @@
+package ops_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+func TestFusedMatMulKernel(t *testing.T) {
+	a := tensor.FromFloat32s(tensor.Shape{2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	b := tensor.FromFloat32s(tensor.Shape{3, 2}, []float32{1, 0, 0, 1, 1, 1})
+	bias := tensor.FromFloat32s(tensor.Shape{2}, []float32{-10, 1})
+
+	got := evalOp(t, "FusedMatMul", map[string]any{"activation": ""}, a, b, bias)[0]
+	// rows: [1+3, 2+3] + bias, [4+6, 5+6] + bias
+	want := []float32{-6, 6, 0, 12}
+	for i, w := range want {
+		if float32(got.FloatAt(i)) != w {
+			t.Fatalf("FusedMatMul[%d] = %v, want %v", i, got.FloatAt(i), w)
+		}
+	}
+
+	got = evalOp(t, "FusedMatMul", map[string]any{"activation": "Relu"}, a, b, bias)[0]
+	want = []float32{0, 6, 0, 12}
+	for i, w := range want {
+		if float32(got.FloatAt(i)) != w {
+			t.Fatalf("FusedMatMul+Relu[%d] = %v, want %v", i, got.FloatAt(i), w)
+		}
+	}
+
+	// No bias, transposed operands.
+	at := tensor.FromFloat32s(tensor.Shape{3, 2}, []float32{1, 4, 2, 5, 3, 6})
+	got = evalOp(t, "FusedMatMul", map[string]any{"transpose_a": true}, at, b)[0]
+	want = []float32{4, 5, 10, 11}
+	for i, w := range want {
+		if float32(got.FloatAt(i)) != w {
+			t.Fatalf("FusedMatMul(ta)[%d] = %v, want %v", i, got.FloatAt(i), w)
+		}
+	}
+}
+
+func TestFusedMatMulInferErrors(t *testing.T) {
+	g := graph.New()
+	a, _ := g.AddNode("Const", nil, graph.NodeArgs{Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{2, 3})}})
+	b, _ := g.AddNode("Const", nil, graph.NodeArgs{Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{3, 4})}})
+	badBias, _ := g.AddNode("Const", nil, graph.NodeArgs{Attrs: map[string]any{"value": tensor.New(tensor.Float32, tensor.Shape{5})}})
+	if _, err := g.AddNode("FusedMatMul", []graph.Endpoint{a.Out(0), b.Out(0), badBias.Out(0)}, graph.NodeArgs{}); err == nil {
+		t.Fatal("FusedMatMul accepted bias of wrong length")
+	}
+	if _, err := g.AddNode("FusedMatMul", []graph.Endpoint{a.Out(0), b.Out(0)},
+		graph.NodeArgs{Attrs: map[string]any{"activation": "Gelu"}}); err == nil {
+		t.Fatal("FusedMatMul accepted unsupported activation")
+	}
+	n, err := g.AddNode("FusedMatMul", []graph.Endpoint{a.Out(0), b.Out(0)}, graph.NodeArgs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Out(0).Shape(); !s.Equal(tensor.Shape{2, 4}) {
+		t.Fatalf("FusedMatMul inferred shape %v, want [2 4]", s)
+	}
+}
+
+// The closed form for one-hot labels is loss = lse(x) - x[label]; with
+// logits like ±1e3 the old -Σ y·log(max(softmax(x),1e-30)) path underflowed
+// and silently capped the loss at ~69.
+func TestSoftmaxCrossEntropyExtremeLogits(t *testing.T) {
+	logits := tensor.FromFloat64s(tensor.Shape{2, 3}, []float64{1000, 0, -1000, -1000, 1000, 0})
+	labels := tensor.FromFloat64s(tensor.Shape{2, 3}, []float64{0, 1, 0, 1, 0, 0})
+	outs := evalOp(t, "SoftmaxCrossEntropyWithLogits", nil, logits, labels)
+	loss, backprop := outs[0], outs[1]
+	// Row 0: lse ≈ 1000, x[label]=0 → loss 1000. Row 1: lse ≈ 1000,
+	// x[label]=-1000 → loss 2000.
+	if math.Abs(loss.FloatAt(0)-1000) > 1e-6 {
+		t.Fatalf("extreme-logit loss[0] = %v, want 1000", loss.FloatAt(0))
+	}
+	if math.Abs(loss.FloatAt(1)-2000) > 1e-6 {
+		t.Fatalf("extreme-logit loss[1] = %v, want 2000", loss.FloatAt(1))
+	}
+	// Backprop row 0 = softmax - y ≈ [1, -1, 0].
+	if math.Abs(backprop.FloatAt(0)-1) > 1e-6 || math.Abs(backprop.FloatAt(1)+1) > 1e-6 {
+		t.Fatalf("extreme-logit backprop row 0 = [%v %v %v]",
+			backprop.FloatAt(0), backprop.FloatAt(1), backprop.FloatAt(2))
+	}
+	// Moderate logits must still match the textbook value.
+	m := tensor.FromFloat64s(tensor.Shape{1, 2}, []float64{1, 2})
+	y := tensor.FromFloat64s(tensor.Shape{1, 2}, []float64{1, 0})
+	got := evalOp(t, "SoftmaxCrossEntropyWithLogits", nil, m, y)[0].FloatAt(0)
+	want := math.Log(math.Exp(1)+math.Exp(2)) - 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("moderate-logit loss = %v, want %v", got, want)
+	}
+}
+
+func TestSparseSoftmaxCrossEntropyExtremeLogits(t *testing.T) {
+	logits := tensor.FromFloat64s(tensor.Shape{2, 3}, []float64{1000, 0, -1000, -1000, 1000, 0})
+	labels := tensor.FromInt64s(tensor.Shape{2}, []int64{1, 0})
+	outs := evalOp(t, "SparseSoftmaxCrossEntropyWithLogits", nil, logits, labels)
+	loss, backprop := outs[0], outs[1]
+	if math.Abs(loss.FloatAt(0)-1000) > 1e-6 {
+		t.Fatalf("sparse extreme-logit loss[0] = %v, want 1000", loss.FloatAt(0))
+	}
+	if math.Abs(loss.FloatAt(1)-2000) > 1e-6 {
+		t.Fatalf("sparse extreme-logit loss[1] = %v, want 2000", loss.FloatAt(1))
+	}
+	if math.Abs(backprop.FloatAt(0)-1) > 1e-6 || math.Abs(backprop.FloatAt(1)+1) > 1e-6 {
+		t.Fatalf("sparse extreme-logit backprop row 0 = [%v %v %v]",
+			backprop.FloatAt(0), backprop.FloatAt(1), backprop.FloatAt(2))
+	}
+}
+
+func TestSoftmaxInferRejectsNonRank2(t *testing.T) {
+	for _, op := range []string{"Softmax", "LogSoftmax"} {
+		for _, shape := range []tensor.Shape{{4}, {2, 3, 4}} {
+			g := graph.New()
+			c, err := g.AddNode("Const", nil, graph.NodeArgs{Attrs: map[string]any{"value": tensor.New(tensor.Float32, shape)}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = g.AddNode(op, []graph.Endpoint{c.Out(0)}, graph.NodeArgs{Name: "probe"})
+			if err == nil {
+				t.Fatalf("%s accepted rank-%d input at build time", op, shape.Rank())
+			}
+			if !strings.Contains(err.Error(), "probe") {
+				t.Fatalf("%s error does not name the node: %v", op, err)
+			}
+		}
+	}
+}

@@ -31,7 +31,11 @@ func registerMathOps() {
 			if err != nil {
 				return err
 			}
-			out, err := tensor.Binary(bop, a, b)
+			outShape, err := tensor.BroadcastShapes(a.Shape(), b.Shape())
+			if err != nil {
+				return err
+			}
+			out, err := tensor.BinaryInto(ctx.Alloc(0, a.DType(), outShape), bop, a, b)
 			if err != nil {
 				return err
 			}
@@ -56,7 +60,7 @@ func registerMathOps() {
 			if err != nil {
 				return err
 			}
-			out, err := tensor.Unary(uop, a)
+			out, err := tensor.UnaryInto(ctx.Alloc(0, a.DType(), a.Shape()), uop, a)
 			if err != nil {
 				return err
 			}
@@ -77,11 +81,7 @@ func registerMathOps() {
 		if err != nil {
 			return err
 		}
-		gate, err := tensor.Unary(tensor.OpReluGradGate, features)
-		if err != nil {
-			return err
-		}
-		out, err := tensor.Binary(tensor.OpMul, grad, gate)
+		out, err := tensor.ReluGradInto(ctx.Alloc(0, grad.DType(), grad.Shape()), grad, features)
 		if err != nil {
 			return err
 		}
@@ -100,7 +100,7 @@ func registerMathOps() {
 		if err != nil {
 			return err
 		}
-		out := tensor.New(y.DType(), y.Shape())
+		out := ctx.Alloc(0, y.DType(), y.Shape())
 		n := y.NumElements()
 		for i := 0; i < n; i++ {
 			yv := y.FloatAt(i)
@@ -119,7 +119,7 @@ func registerMathOps() {
 		if err != nil {
 			return err
 		}
-		out := tensor.New(y.DType(), y.Shape())
+		out := ctx.Alloc(0, y.DType(), y.Shape())
 		n := y.NumElements()
 		for i := 0; i < n; i++ {
 			yv := y.FloatAt(i)
@@ -153,7 +153,7 @@ func registerMathOps() {
 			}
 			ts[i] = t
 		}
-		out, err := tensor.AddN(ts)
+		out, err := tensor.AddNInto(ctx.Alloc(0, ts[0].DType(), ts[0].Shape()), ts)
 		if err != nil {
 			return err
 		}
@@ -196,7 +196,12 @@ func registerMathOps() {
 		if err != nil {
 			return err
 		}
-		out, err := tensor.MatMul(a, b, ctx.Node.AttrBool("transpose_a", false), ctx.Node.AttrBool("transpose_b", false))
+		ta, tb := ctx.Node.AttrBool("transpose_a", false), ctx.Node.AttrBool("transpose_b", false)
+		outShape, err := tensor.MatMulOutShape(a, b, ta, tb)
+		if err != nil {
+			return err
+		}
+		out, err := tensor.MatMulInto(ctx.Alloc(0, a.DType(), outShape), a, b, ta, tb)
 		if err != nil {
 			return err
 		}

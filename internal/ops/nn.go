@@ -267,7 +267,7 @@ func registerNNOps() {
 		if err != nil {
 			return err
 		}
-		out, err := tensor.Binary(tensor.OpAdd, v, b)
+		out, err := tensor.BinaryInto(ctx.Alloc(0, v.DType(), v.Shape()), tensor.OpAdd, v, b)
 		if err != nil {
 			return err
 		}
@@ -304,7 +304,16 @@ func registerNNOps() {
 		return nil
 	})
 
-	graph.RegisterOp(&graph.OpDef{Type: "Softmax", MinInputs: 1, MaxInputs: 1, Infer: sameAsInput})
+	// Softmax/LogSoftmax take [batch, classes] — reject other ranks at
+	// graph-construction time (with the node's name, as the cross-entropy
+	// infers do) rather than letting the kernel fail mid-step.
+	softmaxInfer := func(n *graph.Node, in []graph.IOSpec) ([]graph.IOSpec, error) {
+		if in[0].Shape.Rank() != 2 {
+			return nil, fmt.Errorf("%s (%s) needs rank-2 input, got shape %v", n.Op(), n.Name(), in[0].Shape)
+		}
+		return sameAsInput(n, in)
+	}
+	graph.RegisterOp(&graph.OpDef{Type: "Softmax", MinInputs: 1, MaxInputs: 1, Infer: softmaxInfer})
 	RegisterKernel("Softmax", "CPU", func(ctx *OpContext) error {
 		t, err := ctx.Input(0)
 		if err != nil {
@@ -318,7 +327,7 @@ func registerNNOps() {
 		return nil
 	})
 
-	graph.RegisterOp(&graph.OpDef{Type: "LogSoftmax", MinInputs: 1, MaxInputs: 1, Infer: sameAsInput})
+	graph.RegisterOp(&graph.OpDef{Type: "LogSoftmax", MinInputs: 1, MaxInputs: 1, Infer: softmaxInfer})
 	RegisterKernel("LogSoftmax", "CPU", func(ctx *OpContext) error {
 		t, err := ctx.Input(0)
 		if err != nil {
@@ -357,23 +366,35 @@ func registerNNOps() {
 		if !logits.Shape().Equal(labels.Shape()) {
 			return fmt.Errorf("SoftmaxCrossEntropyWithLogits shape mismatch %v vs %v", logits.Shape(), labels.Shape())
 		}
-		sm, err := tensor.Softmax(logits)
-		if err != nil {
-			return err
-		}
+		// Max-shifted log-sum-exp: loss = Σ y·(lse − x) with
+		// lse = max + log Σ exp(x − max), and softmax = exp(x − lse).
+		// Going through log(softmax(x)) instead underflows for
+		// large-magnitude logits and silently caps the loss.
 		rows, classes := logits.Shape()[0], logits.Shape()[1]
 		loss := tensor.New(logits.DType(), tensor.Shape{rows})
 		backprop := tensor.New(logits.DType(), logits.Shape())
 		for r := 0; r < rows; r++ {
+			base := r * classes
+			maxV := math.Inf(-1)
+			for c := 0; c < classes; c++ {
+				if v := logits.FloatAt(base + c); v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for c := 0; c < classes; c++ {
+				sum += math.Exp(logits.FloatAt(base+c) - maxV)
+			}
+			lse := maxV + math.Log(sum)
 			var l float64
 			for c := 0; c < classes; c++ {
-				i := r*classes + c
-				p := sm.FloatAt(i)
+				i := base + c
+				x := logits.FloatAt(i)
 				y := labels.FloatAt(i)
 				if y != 0 {
-					l -= y * math.Log(math.Max(p, 1e-30))
+					l += y * (lse - x)
 				}
-				backprop.SetFloat(i, p-y)
+				backprop.SetFloat(i, math.Exp(x-lse)-y)
 			}
 			loss.SetFloat(r, l)
 		}
@@ -411,20 +432,32 @@ func registerNNOps() {
 		if labels.NumElements() != rows {
 			return fmt.Errorf("sparse labels length %d != batch %d", labels.NumElements(), rows)
 		}
-		sm, err := tensor.Softmax(logits)
-		if err != nil {
-			return err
-		}
+		// Same max-shifted log-sum-exp path as the dense variant:
+		// loss = lse − x[label], backprop = exp(x − lse) − onehot.
 		loss := tensor.New(logits.DType(), tensor.Shape{rows})
-		backprop := sm.Clone()
+		backprop := tensor.New(logits.DType(), logits.Shape())
 		for r := 0; r < rows; r++ {
 			y := labels.IntAt(r)
 			if y < 0 || y >= classes {
 				return fmt.Errorf("sparse label %d out of range [0,%d)", y, classes)
 			}
-			i := r*classes + y
-			loss.SetFloat(r, -math.Log(math.Max(sm.FloatAt(i), 1e-30)))
-			backprop.SetFloat(i, backprop.FloatAt(i)-1)
+			base := r * classes
+			maxV := math.Inf(-1)
+			for c := 0; c < classes; c++ {
+				if v := logits.FloatAt(base + c); v > maxV {
+					maxV = v
+				}
+			}
+			var sum float64
+			for c := 0; c < classes; c++ {
+				sum += math.Exp(logits.FloatAt(base+c) - maxV)
+			}
+			lse := maxV + math.Log(sum)
+			loss.SetFloat(r, lse-logits.FloatAt(base+y))
+			for c := 0; c < classes; c++ {
+				backprop.SetFloat(base+c, math.Exp(logits.FloatAt(base+c)-lse))
+			}
+			backprop.SetFloat(base+y, backprop.FloatAt(base+y)-1)
 		}
 		ctx.SetOutput(0, loss)
 		ctx.SetOutput(1, backprop)

@@ -57,6 +57,13 @@ func (op BinaryOp) apply(a, b float64) float64 {
 // Binary applies op element-wise with NumPy-style broadcasting. The output
 // dtype matches the input dtype; both inputs must share a numeric dtype.
 func Binary(op BinaryOp, a, b *Tensor) (*Tensor, error) {
+	return BinaryInto(nil, op, a, b)
+}
+
+// BinaryInto is Binary writing into dst, which must match the broadcast
+// result's dtype and shape and must not alias either input (its prior
+// contents are ignored). A nil dst allocates.
+func BinaryInto(dst *Tensor, op BinaryOp, a, b *Tensor) (*Tensor, error) {
 	if a.dtype != b.dtype {
 		return nil, fmt.Errorf("tensor: %v dtype mismatch %v vs %v", op, a.dtype, b.dtype)
 	}
@@ -67,7 +74,12 @@ func Binary(op BinaryOp, a, b *Tensor) (*Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tensor: %v: %w", op, err)
 	}
-	out := New(a.dtype, outShape)
+	out := dst
+	if out == nil {
+		out = New(a.dtype, outShape)
+	} else if out.dtype != a.dtype || !out.shape.Equal(outShape) {
+		return nil, fmt.Errorf("tensor: %v dst must be %v%v, got %v%v", op, a.dtype, outShape, out.dtype, out.shape)
+	}
 	n := out.NumElements()
 
 	// Fast path: identical shapes and float32 (the dominant case in
@@ -328,28 +340,43 @@ func (op UnaryOp) apply(x float64) float64 {
 
 // Unary applies op element-wise.
 func Unary(op UnaryOp, a *Tensor) (*Tensor, error) {
+	return UnaryInto(nil, op, a)
+}
+
+// UnaryInto is Unary writing into dst, which must match a's dtype and shape
+// and must not alias a (its prior contents are ignored). A nil dst
+// allocates.
+func UnaryInto(dst *Tensor, op UnaryOp, a *Tensor) (*Tensor, error) {
 	if !a.dtype.IsNumeric() {
 		return nil, fmt.Errorf("tensor: %v on non-numeric dtype %v", op, a.dtype)
 	}
-	out := New(a.dtype, a.shape)
+	out := dst
+	if out == nil {
+		out = New(a.dtype, a.shape)
+	} else if out.dtype != a.dtype || !out.shape.Equal(a.shape) {
+		return nil, fmt.Errorf("tensor: %v dst must be %v%v, got %v%v", op, a.dtype, a.shape, out.dtype, out.shape)
+	}
 	n := a.NumElements()
 	if a.dtype == Float32 {
-		src, dst := a.Float32s(), out.Float32s()
+		src, dv := a.Float32s(), out.Float32s()
 		switch op {
 		case OpNeg:
-			for i := range dst {
-				dst[i] = -src[i]
+			for i := range dv {
+				dv[i] = -src[i]
 			}
 			return out, nil
 		case OpSquare:
-			for i := range dst {
-				dst[i] = src[i] * src[i]
+			for i := range dv {
+				dv[i] = src[i] * src[i]
 			}
 			return out, nil
 		case OpRelu:
-			for i := range dst {
+			// Write both branches: dst may be a recycled, dirty buffer.
+			for i := range dv {
 				if src[i] > 0 {
-					dst[i] = src[i]
+					dv[i] = src[i]
+				} else {
+					dv[i] = 0
 				}
 			}
 			return out, nil
@@ -357,6 +384,41 @@ func Unary(op UnaryOp, a *Tensor) (*Tensor, error) {
 	}
 	for i := 0; i < n; i++ {
 		out.SetFloat(i, op.apply(a.FloatAt(i)))
+	}
+	return out, nil
+}
+
+// ReluGradInto computes grad · 1[features > 0] — the ReLU backprop — in a
+// single pass into dst (nil allocates; must not alias the inputs).
+func ReluGradInto(dst, grad, features *Tensor) (*Tensor, error) {
+	if grad.dtype != features.dtype || !grad.dtype.IsNumeric() || !grad.shape.Equal(features.shape) {
+		return nil, fmt.Errorf("tensor: ReluGrad needs matching numeric tensors, got %v%v and %v%v",
+			grad.dtype, grad.shape, features.dtype, features.shape)
+	}
+	out := dst
+	if out == nil {
+		out = New(grad.dtype, grad.shape)
+	} else if out.dtype != grad.dtype || !out.shape.Equal(grad.shape) {
+		return nil, fmt.Errorf("tensor: ReluGrad dst must be %v%v, got %v%v", grad.dtype, grad.shape, out.dtype, out.shape)
+	}
+	if grad.dtype == Float32 {
+		gv, fv, ov := grad.Float32s(), features.Float32s(), out.Float32s()
+		for i := range ov {
+			if fv[i] > 0 {
+				ov[i] = gv[i]
+			} else {
+				ov[i] = 0
+			}
+		}
+		return out, nil
+	}
+	n := grad.NumElements()
+	for i := 0; i < n; i++ {
+		if features.FloatAt(i) > 0 {
+			out.SetFloat(i, grad.FloatAt(i))
+		} else {
+			out.SetFloat(i, 0)
+		}
 	}
 	return out, nil
 }
@@ -393,15 +455,32 @@ func Select(cond, a, b *Tensor) (*Tensor, error) {
 
 // AddN sums a non-empty list of same-shaped numeric tensors.
 func AddN(ts []*Tensor) (*Tensor, error) {
+	return AddNInto(nil, ts)
+}
+
+// AddNInto is AddN writing into dst, which must match the addends' dtype
+// and shape and must not alias any of them (its prior contents are
+// ignored). A nil dst allocates.
+func AddNInto(dst *Tensor, ts []*Tensor) (*Tensor, error) {
 	if len(ts) == 0 {
 		return nil, fmt.Errorf("tensor: AddN of zero tensors")
 	}
 	first := ts[0]
-	out := first.Clone()
 	for _, t := range ts[1:] {
 		if t.dtype != first.dtype || !t.shape.Equal(first.shape) {
 			return nil, fmt.Errorf("tensor: AddN mismatch %v%v vs %v%v", first.dtype, first.shape, t.dtype, t.shape)
 		}
+	}
+	out := dst
+	if out == nil {
+		out = first.Clone()
+	} else {
+		if out.dtype != first.dtype || !out.shape.Equal(first.shape) {
+			return nil, fmt.Errorf("tensor: AddN dst must be %v%v, got %v%v", first.dtype, first.shape, out.dtype, out.shape)
+		}
+		out.CopyFrom(first)
+	}
+	for _, t := range ts[1:] {
 		if out.dtype == Float32 {
 			ov, tv := out.Float32s(), t.Float32s()
 			for i := range ov {

@@ -223,15 +223,33 @@ func Softmax(t *Tensor) (*Tensor, error) {
 	return out, nil
 }
 
-// LogSoftmax computes log(softmax(t)) along the last axis.
+// LogSoftmax computes log(softmax(t)) along the last axis directly as
+// (x - max) - log Σ exp(x - max), never materializing the softmax — for
+// large-magnitude logits log(softmax(x)) underflows to log(0) while the
+// shifted form stays exact.
 func LogSoftmax(t *Tensor) (*Tensor, error) {
-	sm, err := Softmax(t)
-	if err != nil {
-		return nil, err
+	if !t.dtype.IsFloat() || t.Rank() < 1 {
+		return nil, fmt.Errorf("tensor: LogSoftmax needs a float tensor of rank >= 1, got %v%v", t.dtype, t.shape)
 	}
-	n := sm.NumElements()
-	for i := 0; i < n; i++ {
-		sm.SetFloat(i, math.Log(sm.FloatAt(i)))
+	out := New(t.dtype, t.shape)
+	classes := t.shape[t.Rank()-1]
+	rows := t.NumElements() / classes
+	for r := 0; r < rows; r++ {
+		base := r * classes
+		maxV := math.Inf(-1)
+		for c := 0; c < classes; c++ {
+			if v := t.FloatAt(base + c); v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for c := 0; c < classes; c++ {
+			sum += math.Exp(t.FloatAt(base+c) - maxV)
+		}
+		lse := math.Log(sum)
+		for c := 0; c < classes; c++ {
+			out.SetFloat(base+c, t.FloatAt(base+c)-maxV-lse)
+		}
 	}
-	return sm, nil
+	return out, nil
 }

@@ -176,6 +176,44 @@ func (t *Tensor) Clone() *Tensor {
 	return c
 }
 
+// CopyFrom copies o's elements into t's buffer; dtype and element count
+// must match (shapes may differ).
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if t.dtype != o.dtype || t.NumElements() != o.NumElements() {
+		panic(fmt.Sprintf("tensor: CopyFrom %v%v into %v%v", o.dtype, o.shape, t.dtype, t.shape))
+	}
+	switch t.dtype {
+	case Bool:
+		copy(t.Bools(), o.Bools())
+	case Int32:
+		copy(t.Int32s(), o.Int32s())
+	case Int64:
+		copy(t.Int64s(), o.Int64s())
+	case Float32:
+		copy(t.Float32s(), o.Float32s())
+	case Float64:
+		copy(t.Float64s(), o.Float64s())
+	case String:
+		copy(t.Strings(), o.Strings())
+	}
+}
+
+// CanHold reports whether t's buffer can back a value of the given dtype
+// and shape — the reuse check of the executor's static memory plan.
+func (t *Tensor) CanHold(dt DType, shape Shape) bool {
+	return t.dtype == dt && t.NumElements() == shape.NumElements()
+}
+
+// ViewAs returns a tensor of the given shape sharing t's buffer; t itself
+// when the shape already matches. The element count must agree.
+func (t *Tensor) ViewAs(shape Shape) *Tensor {
+	if t.shape.Equal(shape) {
+		return t
+	}
+	checkLen(shape, t.NumElements())
+	return &Tensor{dtype: t.dtype, shape: shape.Clone(), buf: t.buf}
+}
+
 // Reshape returns a view of the tensor with a new shape that must have the
 // same number of elements. One dimension may be -1 and is inferred.
 func (t *Tensor) Reshape(shape Shape) (*Tensor, error) {

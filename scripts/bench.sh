@@ -3,17 +3,18 @@
 # benchmark unless overridden) as a compile/run smoke gate, and records a
 # machine-readable snapshot of the headline numbers the ROADMAP tracks —
 # executor op dispatch rate, end-to-end training-step time (dense and
-# through-control-flow), distributed step time, and MatMul GFLOPS.
+# through-control-flow), distributed step time, MatMul GFLOPS, and the
+# fused-vs-unfused training-step ablation.
 #
 # Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
 #   benchtime     go -benchtime value (default 1x: smoke gate)
-#   output        JSON snapshot path (default BENCH_PR5.json)
+#   output        JSON snapshot path (default BENCH_PR6.json)
 #   benchpattern  -bench regexp (default ".": whole suite); use a subset
 #                 with a longer benchtime to refresh the snapshot stably
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
-OUT="${2:-BENCH_PR5.json}"
+OUT="${2:-BENCH_PR6.json}"
 PATTERN="${3:-.}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -34,6 +35,14 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^BenchmarkMatMul\/256x256/ {
     for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops = $i
   }
+  /^BenchmarkMatMulGFLOPS\/float32\/512x512/ {
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops512 = $i
+  }
+  /^BenchmarkMatMulGFLOPS\/float64\/256x256/ {
+    for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops64 = $i
+  }
+  /^BenchmarkAblationFusedKernels\/fused/   { fused_ns = $3 }
+  /^BenchmarkAblationFusedKernels\/unfused/ { unfused_ns = $3 }
   END {
     n = 0
     lines[n++] = sprintf("  \"date\": \"%s\"", date)
@@ -45,6 +54,10 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (dist_ns != "")  lines[n++] = sprintf("  \"distributed_step_ns\": %s", dist_ns)
     if (repl_ns != "")  lines[n++] = sprintf("  \"replicated_training_step_ns\": %s", repl_ns)
     if (gflops != "")   lines[n++] = sprintf("  \"matmul_256x256_gflops\": %s", gflops)
+    if (gflops512 != "") lines[n++] = sprintf("  \"matmul_512x512_gflops\": %s", gflops512)
+    if (gflops64 != "")  lines[n++] = sprintf("  \"matmul_f64_256x256_gflops\": %s", gflops64)
+    if (fused_ns != "")   lines[n++] = sprintf("  \"fused_training_step_ns\": %s", fused_ns)
+    if (unfused_ns != "") lines[n++] = sprintf("  \"unfused_training_step_ns\": %s", unfused_ns)
     printf "{\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "}\n"

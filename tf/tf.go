@@ -235,8 +235,12 @@ type Session struct {
 
 // SessionOptions configures session behavior.
 type SessionOptions struct {
-	// DisableOptimizations turns off CSE and constant folding (§5).
+	// DisableOptimizations turns off the whole compile-time pass pipeline
+	// (constant folding, CSE, kernel fusion — §5).
 	DisableOptimizations bool
+	// DisableFusion keeps folding and CSE but skips the kernel-fusion
+	// pass; fused-vs-unfused ablations flip only this.
+	DisableFusion bool
 }
 
 // NewSession creates a session. It fails if graph construction recorded an
@@ -246,8 +250,11 @@ func NewSession(gr *Graph, opts ...SessionOptions) (*Session, error) {
 		return nil, fmt.Errorf("tf: cannot create session on broken graph: %w", err)
 	}
 	o := core.Options{Optimize: true}
-	if len(opts) > 0 && opts[0].DisableOptimizations {
-		o.Optimize = false
+	if len(opts) > 0 {
+		if opts[0].DisableOptimizations {
+			o.Optimize = false
+		}
+		o.DisableFusion = opts[0].DisableFusion
 	}
 	return &Session{s: core.NewSession(gr.g, o), gr: gr}, nil
 }
