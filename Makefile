@@ -1,12 +1,13 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race race-hot bench bench-smoke golden
+.PHONY: ci fmt vet build test race race-hot bench bench-smoke fuzz-smoke golden
 
 # Tier-1 gate: everything must be gofmt-clean, vet, build, and test
 # green, the concurrency-heavy packages must pass under the race
-# detector, and every root benchmark must compile and run once.
-ci: fmt vet build test race-hot bench-smoke
+# detector, every root benchmark must compile and run once, and the
+# serving parsers must survive a short fuzz run.
+ci: fmt vet build test race-hot bench-smoke fuzz-smoke
 
 # Fail if any tracked Go file is not gofmt-formatted.
 fmt:
@@ -33,14 +34,24 @@ race:
 # buffers across concurrent steps) are where concurrent steps, rendezvous,
 # abort and retry paths interleave; they run race-enabled on every CI pass
 # (full -race stays available as `make race`).
+# internal/serving joins the list for the hot-reload-under-load and
+# micro-batcher hammer tests.
 race-hot:
-	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./tf/train/... ./tf
+	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./internal/serving/... ./tf/train/... ./tf
 
-# Refresh the committed snapshot of the optimization pipeline's output
-# (tf/testdata/optimized_graph.golden). Run after deliberately changing a
-# pass; the golden test fails on any accidental drift.
+# Native-fuzz smoke gate over the serving tier's untrusted-input parsers
+# (predict request bodies, model version names). Seeds live in
+# internal/serving/testdata/fuzz/; raise FUZZTIME for a real hunt.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/serving -run '^$$' -fuzz FuzzPredictRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/serving -run '^$$' -fuzz FuzzModelVersion -fuzztime $(FUZZTIME)
+
+# Refresh the committed golden snapshots (tf/testdata/optimized_graph.golden
+# and tf/testdata/frozen_graph.golden). Run after deliberately changing a
+# pass or the freeze/export path; the golden tests fail on accidental drift.
 golden:
-	$(GO) test ./tf -run TestOptimizedGraphGolden -update -count=1
+	$(GO) test ./tf -run Golden -update -count=1
 
 # Full benchmark pass: runs every root benchmark once and refreshes the
 # committed BENCH_PR5.json snapshot (pass BENCHTIME=2s for stable numbers).

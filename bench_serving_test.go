@@ -1,0 +1,154 @@
+package repro_test
+
+// BenchmarkServePredict measures the inference tier end to end: a dense
+// MLP is trained briefly, frozen with a relaxed batch dimension, exported,
+// and reloaded through the serving loader; then 32 closed-loop clients
+// drive single-row predicts through the model while the micro-batch
+// latency window sweeps from 0 (batching off — every request is its own
+// pooled-executor step) through 1/5/10 ms. Reported per setting: p50/p99
+// request latency and aggregate throughput. At saturation the batcher's
+// win is amortized per-step overhead, so batched qps should clear the
+// unbatched baseline by well over 2x.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serving"
+	"repro/internal/tensor"
+	"repro/tf"
+	"repro/tf/nn"
+)
+
+const (
+	serveClients  = 64
+	serveMaxBatch = 64
+	serveCols     = 16
+	serveDepth    = 12
+)
+
+// frozenServeModel builds, freezes and exports the benchmark model, and
+// loads it back through the serving path with the given batch window.
+func frozenServeModel(b *testing.B, window time.Duration) *serving.Model {
+	b.Helper()
+	g := tf.NewGraph()
+	g.SetSeed(11)
+	// Deep and narrow: per-row FLOPs stay small while the step crosses
+	// many nodes, so per-step scheduling overhead — the thing batching
+	// amortizes — dominates, as it does for small production models.
+	x := g.Placeholder("x", tf.Float32, tf.Shape{1, serveCols})
+	h := x
+	for i := 0; i < serveDepth; i++ {
+		h, _ = nn.Dense(g, fmt.Sprintf("hidden%d", i), h, serveCols, nn.ReLU)
+	}
+	logits, _ := nn.Dense(g, "out", h, 8, nn.Linear)
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		b.Fatal(err)
+	}
+	frozen, err := tf.Freeze(sess,
+		[]tf.SigTensor{{Alias: "x", Output: x}},
+		[]tf.SigTensor{{Alias: "logits", Output: logits}},
+		tf.FreezeOptions{BatchDim: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := b.TempDir()
+	if err := frozen.Export(root, "bench", 1); err != nil {
+		b.Fatal(err)
+	}
+	m, err := serving.LoadModel(root, "bench", 1, serving.ModelOptions{
+		MaxBatch: serveMaxBatch, Window: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Warm(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkServePredict(b *testing.B) {
+	settings := []struct {
+		name   string
+		window time.Duration
+	}{
+		{"unbatched", 0},
+		{"window=1ms", time.Millisecond},
+		{"window=5ms", 5 * time.Millisecond},
+		{"window=10ms", 10 * time.Millisecond},
+	}
+	for _, s := range settings {
+		b.Run(s.name, func(b *testing.B) {
+			m := frozenServeModel(b, s.window)
+			defer m.Close()
+
+			// Closed loop: every client keeps exactly one request in
+			// flight, so offered load is saturation for this client count.
+			// The round count gets a floor so the percentile math is
+			// meaningful even under -benchtime 1x smoke runs.
+			rounds := b.N
+			if rounds < 100 {
+				rounds = 100
+			}
+			total := int64(rounds) * serveClients
+
+			row := tensor.New(tensor.Float32, tensor.Shape{1, serveCols})
+			for i := range row.Float32s() {
+				row.Float32s()[i] = float32(i) * 0.01
+			}
+
+			var next atomic.Int64
+			latencies := make([][]time.Duration, serveClients)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for c := 0; c < serveClients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					local := make([]time.Duration, 0, rounds)
+					for next.Add(1) <= total {
+						t0 := time.Now()
+						if _, err := m.Predict([]*tensor.Tensor{row}); err != nil {
+							b.Error(err)
+							return
+						}
+						local = append(local, time.Since(t0))
+					}
+					latencies[c] = local
+				}(c)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			var all []time.Duration
+			for _, l := range latencies {
+				all = append(all, l...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			pct := func(p float64) time.Duration {
+				if len(all) == 0 {
+					return 0
+				}
+				i := int(p * float64(len(all)-1))
+				return all[i]
+			}
+			qps := float64(len(all)) / elapsed.Seconds()
+			b.ReportMetric(qps, "qps")
+			b.ReportMetric(float64(pct(0.50))/1e3, "p50-µs")
+			b.ReportMetric(float64(pct(0.99))/1e3, "p99-µs")
+			b.ReportMetric(0, "ns/op") // latency metrics above are the story
+		})
+	}
+}

@@ -4,7 +4,7 @@
 // choices described in ARCHITECTURE.md (see "Executor scheduling and
 // memory reuse"). cmd/tfbench prints the same results as formatted tables;
 // EXPERIMENTS.md records a snapshot, and scripts/bench.sh regenerates the
-// machine-readable BENCH_PR6.json.
+// machine-readable BENCH_PR7.json.
 package repro_test
 
 import (

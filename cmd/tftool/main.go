@@ -1,21 +1,36 @@
-// Command tftool inspects the artifacts the runtime produces: checkpoint
-// files (§4.3) and serialized graphs (§3.3).
+// Command tftool inspects and transforms the artifacts the runtime
+// produces: checkpoint files (§4.3), serialized graphs (§3.3), and frozen
+// serving models.
 //
 //	tftool ckpt <file>            # list tensors in a checkpoint
 //	tftool ckpt <file> <tensor>   # dump one tensor
 //	tftool graph <file>           # summarize a serialized graph
 //	tftool ops                    # list the registered operation set (§5)
+//	tftool freeze ...             # freeze graph+checkpoint into a serving model
+//
+// freeze combines a serialized training graph with a checkpoint into a
+// versioned model directory cmd/tfserve can serve, without needing the
+// training program:
+//
+//	tftool freeze -graph g.bin -ckpt model-120 \
+//	    -input image=x:0 -output logits=dense/y:0 \
+//	    -out ./models -name mnist -version 2 -batch
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	_ "repro/internal/ops"
+	"repro/internal/serving"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -37,14 +52,152 @@ func main() {
 		for _, op := range graph.RegisteredOps() {
 			fmt.Println(op)
 		}
+	case "freeze":
+		freeze(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tftool ckpt <file> [tensor] | tftool graph <file> | tftool ops")
+	fmt.Fprintln(os.Stderr, "usage: tftool ckpt <file> [tensor] | tftool graph <file> | tftool ops | tftool freeze -h")
 	os.Exit(2)
+}
+
+// sliceFlag accumulates repeated -input/-output flags.
+type sliceFlag []string
+
+func (s *sliceFlag) String() string { return strings.Join(*s, ",") }
+func (s *sliceFlag) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// parseSig splits "alias=node:idx" (alias optional: "node:idx" aliases to
+// the node name).
+func parseSig(s string) (alias, ref string, err error) {
+	if i := strings.Index(s, "="); i >= 0 {
+		alias, ref = s[:i], s[i+1:]
+	} else {
+		ref = s
+		alias = ref
+		if j := strings.LastIndex(ref, ":"); j >= 0 {
+			alias = ref[:j]
+		}
+	}
+	if alias == "" || ref == "" {
+		return "", "", fmt.Errorf("malformed signature entry %q (want alias=node:idx)", s)
+	}
+	return alias, ref, nil
+}
+
+func freeze(args []string) {
+	fs := flag.NewFlagSet("freeze", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "serialized training graph (graph.Marshal output)")
+	ckptPath := fs.String("ckpt", "", "checkpoint file holding the trained variables")
+	out := fs.String("out", "", "serving model root directory")
+	name := fs.String("name", "", "model name under the root")
+	version := fs.Int64("version", 1, "model version")
+	batch := fs.Bool("batch", false, "relax input dim 0 to -1 and mark the signature batchable")
+	sigName := fs.String("signature", "predict", "signature name")
+	var inputs, outputs sliceFlag
+	fs.Var(&inputs, "input", "signature input alias=node:idx (repeatable)")
+	fs.Var(&outputs, "output", "signature output alias=node:idx (repeatable)")
+	_ = fs.Parse(args)
+	if *graphPath == "" || *ckptPath == "" || *out == "" || *name == "" || len(inputs) == 0 || len(outputs) == 0 {
+		log.Fatal("tftool freeze: -graph, -ckpt, -out, -name, -input and -output are all required")
+	}
+
+	data, err := os.ReadFile(*graphPath)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	g, err := graph.Unmarshal(data)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	values, err := checkpoint.Read(*ckptPath)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+
+	spec := graph.FreezeSpec{Values: values}
+	sig := serving.Signature{Name: *sigName, Batchable: *batch}
+	if *batch {
+		spec.FeedShapes = make([]tensor.Shape, len(inputs))
+	}
+	resolve := func(ref string) graph.Endpoint {
+		nodeName, idx := ref, 0
+		if j := strings.LastIndex(ref, ":"); j >= 0 {
+			nodeName = ref[:j]
+			if _, err := fmt.Sscanf(ref[j+1:], "%d", &idx); err != nil {
+				log.Fatalf("tftool: bad endpoint ref %q", ref)
+			}
+		}
+		n := g.ByName(nodeName)
+		if n == nil {
+			log.Fatalf("tftool: graph has no node %q", nodeName)
+		}
+		if idx < 0 || idx >= n.NumOutputs() {
+			log.Fatalf("tftool: %q indexes output %d of a node with %d outputs", ref, idx, n.NumOutputs())
+		}
+		return n.Out(idx)
+	}
+	aliases := make([]string, 0, len(inputs)+len(outputs))
+	for i, in := range inputs {
+		alias, ref, err := parseSig(in)
+		if err != nil {
+			log.Fatalf("tftool: %v", err)
+		}
+		ep := resolve(ref)
+		spec.Feeds = append(spec.Feeds, ep)
+		if *batch {
+			shape := ep.Shape().Clone()
+			if shape.Rank() == 0 {
+				log.Fatalf("tftool: input %q is a scalar; -batch needs a leading batch dimension", alias)
+			}
+			shape[0] = -1
+			spec.FeedShapes[i] = shape
+		}
+		aliases = append(aliases, alias)
+	}
+	var outAliases []string
+	for _, o := range outputs {
+		alias, ref, err := parseSig(o)
+		if err != nil {
+			log.Fatalf("tftool: %v", err)
+		}
+		spec.Fetches = append(spec.Fetches, resolve(ref))
+		outAliases = append(outAliases, alias)
+	}
+
+	fz, err := graph.Freeze(g, spec)
+	if err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	pipe := graph.NewPipeline(exec.Evaluator("CPU", nil), graph.PipelineOptions{})
+	res, err := pipe.Run(fz.Graph)
+	if err != nil {
+		log.Fatalf("tftool: optimizing frozen graph: %v", err)
+	}
+	for i, ep := range fz.Feeds {
+		sig.Inputs = append(sig.Inputs, serving.TensorSpec{
+			Alias: aliases[i], Ref: ep.String(),
+			DType: ep.DType().String(), Shape: append([]int(nil), ep.Shape()...),
+		})
+	}
+	for i, ep := range fz.Fetches {
+		ep = graph.Remap(res.Replaced, ep)
+		sig.Outputs = append(sig.Outputs, serving.TensorSpec{
+			Alias: outAliases[i], Ref: ep.String(),
+			DType: ep.DType().String(), Shape: append([]int(nil), ep.Shape()...),
+		})
+	}
+	if err := serving.WriteModel(*out, *name, *version, fz.Graph, sig); err != nil {
+		log.Fatalf("tftool: %v", err)
+	}
+	fmt.Printf("frozen model written: %s/%s/%d (%d nodes, %d fused)\n",
+		*out, *name, *version, fz.Graph.NumNodes(), res.Fused)
 }
 
 func ckpt(path string, rest []string) {

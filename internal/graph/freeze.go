@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Freezing converts a trained graph into a self-contained inference
+// artifact (the deployment story of §2/§7: the same dataflow representation
+// is "used for inference at scale"). The frozen graph is pruned to one
+// predict signature — a set of fed inputs and fetched outputs — with every
+// initialized variable folded into a Const carrying its trained value, so a
+// serving process needs no resource state, no initialization step and no
+// checkpoint: just the graph and a session.
+
+// FreezeSpec describes one predict signature to freeze.
+type FreezeSpec struct {
+	// Feeds are the endpoints the caller will feed at predict time. Each
+	// becomes a Placeholder in the frozen graph (fed endpoints need not be
+	// placeholders in the source graph — an internal edge such as a queue's
+	// dequeue output works too, exactly as in Session.Run).
+	Feeds []Endpoint
+	// FeedShapes optionally overrides, per feed, the static shape of the
+	// generated Placeholder. The canonical use is relaxing a fixed training
+	// batch dimension to -1 so the serving batcher can stack requests.
+	// A nil entry (or nil slice) keeps the source shape.
+	FeedShapes []tensor.Shape
+	// Fetches are the outputs of the predict signature.
+	Fetches []Endpoint
+	// Values maps variable resource names (the "shared_name" attribute, or
+	// the node name) to their trained tensors, as produced by
+	// device.ResourceManager.SnapshotVariables or checkpoint.Read.
+	Values map[string]*tensor.Tensor
+}
+
+// Frozen is the result of Freeze: a fresh graph containing only the predict
+// signature's subgraph, plus the feed/fetch endpoints remapped into it.
+type Frozen struct {
+	Graph   *Graph
+	Feeds   []Endpoint // Placeholders, one per FreezeSpec.Feeds entry
+	Fetches []Endpoint
+}
+
+// varValueName mirrors the state-op kernels' resource naming: a Variable's
+// buffer is keyed by its "shared_name" attribute when present, else its
+// node name.
+func varValueName(n *Node) string {
+	return n.AttrString("shared_name", n.Name())
+}
+
+// Freeze copies the subgraph needed to compute spec.Fetches from spec.Feeds
+// into a new graph, replacing every Variable with a Const holding its
+// snapshot value and eliding the Reads on top of it. Any other stateful op
+// in the pruned subgraph (Assign, queue and stack ops, random generators)
+// is an error: a predict signature must be a pure function of its feeds.
+//
+// Device constraints and colocation hints are stripped — a frozen graph is
+// a single-device artifact whose placement is the serving process's
+// decision — and stale optimization markers (dead flags) are dropped so the
+// serving-side pipeline starts from a clean slate.
+func Freeze(src *Graph, spec FreezeSpec) (*Frozen, error) {
+	if len(spec.Fetches) == 0 {
+		return nil, fmt.Errorf("graph: freeze needs at least one fetch")
+	}
+	if spec.FeedShapes != nil && len(spec.FeedShapes) != len(spec.Feeds) {
+		return nil, fmt.Errorf("graph: freeze got %d feed shapes for %d feeds",
+			len(spec.FeedShapes), len(spec.Feeds))
+	}
+	set, err := Prune(src, spec.Feeds, spec.Fetches, nil)
+	if err != nil {
+		return nil, err
+	}
+	order, err := TopoSort(src, set)
+	if err != nil {
+		return nil, fmt.Errorf("graph: freeze: %w", err)
+	}
+
+	out := New()
+	out.SetSeed(src.Seed())
+	frozen := &Frozen{Graph: out}
+
+	// Feeds become placeholders; every edge fed in the source remaps to one.
+	feedMap := make(map[Endpoint]Endpoint, len(spec.Feeds))
+	for i, f := range spec.Feeds {
+		shape := f.Shape()
+		if spec.FeedShapes != nil && spec.FeedShapes[i] != nil {
+			shape = spec.FeedShapes[i]
+		}
+		ph, err := out.AddNode("Placeholder", nil, NodeArgs{
+			Name:  f.Node.Name(),
+			Attrs: map[string]any{"dtype": f.DType(), "shape": shape.Clone()},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graph: freeze feed %s: %w", f, err)
+		}
+		feedMap[f] = ph.Out(0)
+		frozen.Feeds = append(frozen.Feeds, ph.Out(0))
+	}
+
+	// epMap remaps source endpoints; nodeMap remaps control-edge sources
+	// (a folded Variable's consumers rehome onto its Const).
+	epMap := make(map[Endpoint]Endpoint)
+	nodeMap := make(map[*Node]*Node)
+	mapIn := func(e Endpoint) (Endpoint, error) {
+		if to, ok := feedMap[e]; ok {
+			return to, nil
+		}
+		if to, ok := epMap[e]; ok {
+			return to, nil
+		}
+		return Endpoint{}, fmt.Errorf("graph: freeze: input %s has no frozen counterpart", e)
+	}
+
+	type pendingBackEdge struct {
+		merge *Node // source-graph Merge
+		from  Endpoint
+	}
+	var backEdges []pendingBackEdge
+
+	for _, n := range order {
+		switch {
+		case n.Op() == "Variable":
+			name := varValueName(n)
+			v, ok := spec.Values[name]
+			if !ok {
+				return nil, fmt.Errorf("graph: freeze: variable %q has no snapshot value (uninitialized, or missing from the checkpoint)", name)
+			}
+			c, err := out.AddNode("Const", nil, NodeArgs{
+				Name:  n.Name(),
+				Attrs: map[string]any{"value": v, "dtype": v.DType()},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("graph: freeze variable %s: %w", n.Name(), err)
+			}
+			epMap[n.Out(0)] = c.Out(0)
+			nodeMap[n] = c
+			continue
+
+		case n.Op() == "Read":
+			// Read(var) collapses onto the Const that replaced the variable.
+			to, err := mapIn(n.Input(0))
+			if err != nil {
+				return nil, err
+			}
+			epMap[n.Out(0)] = to
+			nodeMap[n] = to.Node
+			continue
+
+		case n.Op() == "Placeholder":
+			// A placeholder surviving pruning is an input the signature
+			// forgot to feed: predicting would always fail.
+			if _, fed := feedMap[n.Out(0)]; !fed {
+				return nil, fmt.Errorf("graph: freeze: placeholder %s is reachable from the fetches but not in the feed list", n.Name())
+			}
+			continue
+
+		case n.Stateful():
+			return nil, fmt.Errorf("graph: freeze: stateful op %s (%s) cannot be frozen; a predict signature must be a pure function of its feeds", n.Name(), n.Op())
+		}
+
+		inputs := make([]Endpoint, 0, n.NumInputs())
+		for _, in := range n.Inputs() {
+			// A Merge's NextIteration input is a loop back edge: its
+			// producer sorts after the Merge, so defer it and close the
+			// cycle with AddBackEdge once both ends exist.
+			if in.Node.Op() == "NextIteration" && in.Node.ID() > n.ID() {
+				backEdges = append(backEdges, pendingBackEdge{merge: n, from: in})
+				continue
+			}
+			to, err := mapIn(in)
+			if err != nil {
+				return nil, fmt.Errorf("graph: freeze %s: %w", n.Name(), err)
+			}
+			inputs = append(inputs, to)
+		}
+		var control []*Node
+		for _, c := range n.ControlInputs() {
+			to, ok := nodeMap[c]
+			if !ok {
+				return nil, fmt.Errorf("graph: freeze %s: control input %s has no frozen counterpart", n.Name(), c.Name())
+			}
+			control = appendUniqueNode(control, to)
+		}
+		attrs := make(map[string]any, len(n.attrs))
+		for k, v := range n.attrs {
+			// Placement metadata and stale optimization markers do not
+			// survive freezing.
+			if k == ColocationAttr || k == DeadAttr {
+				continue
+			}
+			attrs[k] = v
+		}
+		nn, err := out.AddNode(n.Op(), inputs, NodeArgs{
+			Name: n.Name(), Attrs: attrs, Control: control,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graph: freeze %s: %w", n.Name(), err)
+		}
+		if nn.Name() != n.Name() {
+			return nil, fmt.Errorf("graph: freeze: node %s was renamed to %s", n.Name(), nn.Name())
+		}
+		for i := 0; i < n.NumOutputs(); i++ {
+			epMap[n.Out(i)] = nn.Out(i)
+		}
+		nodeMap[n] = nn
+	}
+
+	for _, be := range backEdges {
+		from, err := mapIn(be.from)
+		if err != nil {
+			return nil, fmt.Errorf("graph: freeze back edge into %s: %w", be.merge.Name(), err)
+		}
+		if err := out.AddBackEdge(nodeMap[be.merge], from); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, f := range spec.Fetches {
+		to, err := mapIn(f)
+		if err != nil {
+			return nil, fmt.Errorf("graph: freeze fetch %s: %w", f, err)
+		}
+		frozen.Fetches = append(frozen.Fetches, to)
+	}
+	return frozen, nil
+}
+
+func appendUniqueNode(list []*Node, n *Node) []*Node {
+	for _, e := range list {
+		if e == n {
+			return list
+		}
+	}
+	return append(list, n)
+}

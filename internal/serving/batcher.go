@@ -1,0 +1,192 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// The adaptive micro-batcher implements the serving-side batching the
+// ROADMAP's kserve-shaped tier calls for: concurrent predict requests
+// accumulate until the batch holds maxBatch rows or the oldest request has
+// waited the full latency window, then the whole batch is stacked along
+// axis 0 and executed as ONE pooled-executor step; the fetched rows are
+// scattered back to the waiting callers. Under saturation batches fill
+// instantly and the window never costs latency; under light load the
+// window bounds how long a lone request can be held hostage.
+
+// batchRequest is one caller's predict inside the batcher.
+type batchRequest struct {
+	inputs []*tensor.Tensor
+	rows   int
+	out    chan batchResult
+}
+
+type batchResult struct {
+	outputs []*tensor.Tensor
+	err     error
+}
+
+type batcher struct {
+	run      func([]*tensor.Tensor) ([]*tensor.Tensor, error)
+	maxBatch int
+	window   time.Duration
+
+	submit chan *batchRequest
+	stop   chan struct{}
+	done   sync.WaitGroup
+}
+
+func newBatcher(run func([]*tensor.Tensor) ([]*tensor.Tensor, error), maxBatch int, window time.Duration) *batcher {
+	b := &batcher{
+		run:      run,
+		maxBatch: maxBatch,
+		window:   window,
+		submit:   make(chan *batchRequest),
+		stop:     make(chan struct{}),
+	}
+	b.done.Add(1)
+	go b.collect()
+	return b
+}
+
+// do submits one request and blocks until its rows come back.
+func (b *batcher) do(inputs []*tensor.Tensor, rows int) ([]*tensor.Tensor, error) {
+	if rows >= b.maxBatch {
+		// Already at the batch cap: stacking could only split it.
+		return b.run(inputs)
+	}
+	req := &batchRequest{inputs: inputs, rows: rows, out: make(chan batchResult, 1)}
+	select {
+	case b.submit <- req:
+	case <-b.stop:
+		return nil, fmt.Errorf("serving: model is shutting down")
+	}
+	res := <-req.out
+	return res.outputs, res.err
+}
+
+// collect is the batcher's single collector goroutine: it owns batch
+// assembly, while execution happens in per-batch goroutines so the next
+// batch accumulates while the previous one runs (concurrent steps of one
+// pooled session).
+func (b *batcher) collect() {
+	defer b.done.Done()
+	var carry *batchRequest // request that would have overflowed the last batch
+	for {
+		first := carry
+		carry = nil
+		if first == nil {
+			select {
+			case first = <-b.submit:
+			case <-b.stop:
+				return
+			}
+		}
+		batch := []*batchRequest{first}
+		rows := first.rows
+		timer := time.NewTimer(b.window)
+		stopping := false
+	fill:
+		for rows < b.maxBatch && carry == nil {
+			select {
+			case r := <-b.submit:
+				if rows+r.rows > b.maxBatch {
+					carry = r // dispatch what we have; r opens the next batch
+				} else {
+					batch = append(batch, r)
+					rows += r.rows
+				}
+			case <-timer.C:
+				break fill
+			case <-b.stop:
+				stopping = true
+				break fill
+			}
+		}
+		timer.Stop()
+		if stopping {
+			// Never drop accepted work: run the partial batch (and the
+			// overflow request) before exiting.
+			b.dispatch(batch)
+			if carry != nil {
+				b.dispatch([]*batchRequest{carry})
+			}
+			return
+		}
+		go b.dispatch(batch)
+	}
+}
+
+// dispatch stacks the batch's inputs along axis 0, runs one step, and
+// scatters each fetched tensor's rows back to the callers in submission
+// order.
+func (b *batcher) dispatch(batch []*batchRequest) {
+	if len(batch) == 1 {
+		outputs, err := b.run(batch[0].inputs)
+		batch[0].out <- batchResult{outputs: outputs, err: err}
+		return
+	}
+	fail := func(err error) {
+		for _, r := range batch {
+			r.out <- batchResult{err: err}
+		}
+	}
+	nIn := len(batch[0].inputs)
+	stacked := make([]*tensor.Tensor, nIn)
+	parts := make([]*tensor.Tensor, len(batch))
+	total := 0
+	sizes := make([]int, len(batch))
+	for i, r := range batch {
+		sizes[i] = r.rows
+		total += r.rows
+	}
+	for i := 0; i < nIn; i++ {
+		for j, r := range batch {
+			parts[j] = r.inputs[i]
+		}
+		t, err := tensor.Concat(parts, 0)
+		if err != nil {
+			fail(fmt.Errorf("serving: stacking batch input %d: %w", i, err))
+			return
+		}
+		stacked[i] = t
+	}
+	outputs, err := b.run(stacked)
+	if err != nil {
+		fail(err)
+		return
+	}
+	split := make([][]*tensor.Tensor, len(batch))
+	for i := range split {
+		split[i] = make([]*tensor.Tensor, len(outputs))
+	}
+	for j, out := range outputs {
+		if out.Rank() == 0 || out.Shape()[0] != total {
+			fail(fmt.Errorf("serving: batched output %d has shape %v, want %d rows — signature is not batchable", j, out.Shape(), total))
+			return
+		}
+		rows, err := tensor.Split(out, 0, sizes)
+		if err != nil {
+			fail(fmt.Errorf("serving: scattering batched output %d: %w", j, err))
+			return
+		}
+		for i := range batch {
+			split[i][j] = rows[i]
+		}
+	}
+	for i, r := range batch {
+		r.out <- batchResult{outputs: split[i]}
+	}
+}
+
+// close stops the collector. The caller must have drained in-flight
+// requests first (the registry waits on its per-model in-flight count);
+// any request racing the shutdown is still either rejected at submit or
+// executed by the collector's final partial dispatch — never dropped.
+func (b *batcher) close() {
+	close(b.stop)
+	b.done.Wait()
+}

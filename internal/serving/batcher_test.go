@@ -1,0 +1,272 @@
+package serving
+
+// White-box battery for the adaptive micro-batcher: stacking, scattering,
+// window expiry, overflow carry, shutdown. The hammer tests are written to
+// run under -race (make race-hot) — the batcher's collector/dispatcher
+// split is exactly the kind of code the race detector earns its keep on.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// identityRun echoes its inputs and records every batch's row count.
+type identityRun struct {
+	mu      sync.Mutex
+	batches []int
+}
+
+func (r *identityRun) run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	r.mu.Lock()
+	r.batches = append(r.batches, inputs[0].Shape()[0])
+	r.mu.Unlock()
+	return inputs, nil
+}
+
+func (r *identityRun) sizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.batches...)
+}
+
+// TestBatcherScattersOwnRows is the cross-wiring check: G concurrent
+// callers each submit a distinct row and must get exactly that row back —
+// any slip in Concat order vs Split order hands a caller someone else's
+// prediction.
+func TestBatcherScattersOwnRows(t *testing.T) {
+	rec := &identityRun{}
+	b := newBatcher(rec.run, 8, 2*time.Millisecond)
+	defer b.close()
+
+	const goroutines = 16
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := float32(g*1000 + i)
+				out, err := b.do([]*tensor.Tensor{rowTensor(v)}, 1)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if got := out[0].Shape(); got[0] != 1 || got[1] != testModelCols {
+					errs <- fmt.Errorf("goroutine %d iter %d: row shape %v", g, i, got)
+					return
+				}
+				for _, x := range out[0].Float32s() {
+					if x != v {
+						errs <- fmt.Errorf("goroutine %d iter %d: got row of %v, want %v (cross-wired)", g, i, x, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Under 16 concurrent callers and an 8-row cap, stacking must actually
+	// happen — an always-singleton batcher would pass the scatter check
+	// while batching nothing.
+	var stacked bool
+	for _, n := range rec.sizes() {
+		if n > 8 {
+			t.Fatalf("batch of %d rows exceeds maxBatch 8", n)
+		}
+		if n > 1 {
+			stacked = true
+		}
+	}
+	if !stacked {
+		t.Error("no multi-row batch was ever dispatched under concurrent load")
+	}
+}
+
+// TestBatcherWindowBoundsLatency: a lone request must not wait meaningfully
+// longer than the window for companions that never come.
+func TestBatcherWindowBoundsLatency(t *testing.T) {
+	rec := &identityRun{}
+	window := 10 * time.Millisecond
+	b := newBatcher(rec.run, 64, window)
+	defer b.close()
+
+	start := time.Now()
+	if _, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*window {
+		t.Errorf("lone request took %v, window is %v", elapsed, window)
+	}
+	if sizes := rec.sizes(); len(sizes) != 1 || sizes[0] != 1 {
+		t.Errorf("batches = %v, want one singleton", sizes)
+	}
+}
+
+// TestBatcherFullRequestBypasses: a request already at maxBatch rows runs
+// directly, without passing through the collector.
+func TestBatcherFullRequestBypasses(t *testing.T) {
+	rec := &identityRun{}
+	b := newBatcher(rec.run, 4, time.Hour) // window would hang a collected request
+	defer b.close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := b.do([]*tensor.Tensor{rowsTensor(0, 4)}, 4); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("full-size request went through the window wait")
+	}
+}
+
+// TestBatcherOverflowCarry: when a request would overflow the filling
+// batch, the batch dispatches and the request opens the next one — rows
+// are never split across steps.
+func TestBatcherOverflowCarry(t *testing.T) {
+	rec := &identityRun{}
+	b := newBatcher(rec.run, 4, 50*time.Millisecond)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := b.do([]*tensor.Tensor{rowsTensor(float32(i*10), 3)}, 3)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			vals := out[0].Float32s()
+			for r := 0; r < 3; r++ {
+				if vals[r*testModelCols] != float32(i*10+r) {
+					t.Errorf("request %d row %d came back as %v", i, r, vals[r*testModelCols])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, n := range rec.sizes() {
+		if n != 3 {
+			t.Errorf("3-row requests into a 4-cap batcher must dispatch alone, got a %d-row step", n)
+		}
+	}
+}
+
+// TestBatcherErrorFansOut: a failed step must deliver the error to every
+// caller in the batch, not strand any of them.
+func TestBatcherErrorFansOut(t *testing.T) {
+	boom := fmt.Errorf("executor exploded")
+	var calls atomic.Int32
+	b := newBatcher(func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		calls.Add(1)
+		return nil, boom
+	}, 8, 2*time.Millisecond)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1); err == nil {
+				t.Error("caller in a failed batch got a nil error")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBatcherRejectsNonBatchableOutput: if the model's output does not
+// carry the stacked batch dimension, every caller gets a clear error
+// instead of someone else's rows.
+func TestBatcherRejectsNonBatchableOutput(t *testing.T) {
+	// Returns a scalar no matter how many rows went in.
+	b := newBatcher(func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		return []*tensor.Tensor{tensor.Scalar(7)}, nil
+	}, 8, 5*time.Millisecond)
+	defer b.close()
+
+	var wg sync.WaitGroup
+	sawError := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1)
+			sawError <- err
+		}()
+	}
+	wg.Wait()
+	close(sawError)
+	// Singleton batches legitimately pass the scalar through (no stacking
+	// happened); every multi-row batch must error.
+	var errored bool
+	for err := range sawError {
+		if err != nil {
+			errored = true
+		}
+	}
+	if !errored {
+		t.Skip("no multi-row batch formed this run; nothing to assert")
+	}
+}
+
+// TestBatcherCloseNeverDropsAcceptedWork hammers do() while the batcher
+// shuts down: every call must return — a result or a shutdown error —
+// never hang on a dropped request.
+func TestBatcherCloseNeverDropsAcceptedWork(t *testing.T) {
+	rec := &identityRun{}
+	b := newBatcher(rec.run, 8, time.Millisecond)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	var completed, rejected atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				out, err := b.do([]*tensor.Tensor{rowTensor(float32(g))}, 1)
+				if err != nil {
+					rejected.Add(1)
+					return // shutdown reached this caller
+				}
+				if out[0].Float32s()[0] != float32(g) {
+					t.Errorf("goroutine %d got foreign row %v", g, out[0].Float32s()[0])
+					return
+				}
+				completed.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	b.close()
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("a caller hung across batcher shutdown — accepted work was dropped")
+	}
+	if completed.Load() == 0 {
+		t.Error("no request completed before shutdown; hammer never overlapped serving")
+	}
+}

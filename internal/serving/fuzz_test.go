@@ -1,0 +1,102 @@
+package serving
+
+// Native fuzz targets over the two parsers that face untrusted bytes: the
+// predict request body (network input) and model version directory names
+// (filesystem input — an operator or a buggy exporter can drop anything
+// into the model root). Seed corpora live in testdata/fuzz/; scripts/ci.sh
+// runs each target for a few seconds as a smoke gate, and longer runs are
+//
+//	go test ./internal/serving -fuzz FuzzPredictRequest -fuzztime 60s
+//
+// The invariant in both cases is the serving tier's front-door contract:
+// arbitrary input produces an error or a valid value, never a panic, a
+// huge allocation, or a value that violates the parser's own postconditions.
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func FuzzPredictRequest(f *testing.F) {
+	seeds := []string{
+		`{"inputs": {"x": {"shape": [2, 4], "values": [1,1,1,1,2,2,2,2]}}}`,
+		`{"inputs": {"x": {"shape": [1], "values": [3.5]}, "mask": {"shape": [2], "values": [true, false]}}}`,
+		`{"inputs": {"s": {"shape": [], "values": ["hello"]}}}`,
+		`{"inputs": {}}`,
+		`{"inputs": {"x": {"shape": [-1, 4], "values": []}}}`,
+		`{"inputs": {"x": {"shape": [1000000, 1000000], "values": []}}}`,
+		`{"inputs": {"x": {"shape": [2], "values": [1]}}}`,
+		`{"inputs": {"x": {"shape": [1], "values": [9223372036854775807]}}}`,
+		`{"inputs": {"x": {"shape": [1], "values": [1e400]}}}`,
+		`{"extra": 1, "inputs": {"x": {"shape": [1], "values": [0]}}}`,
+		`{"inputs": {`,
+		`null`,
+		``,
+		`[]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	spec32 := TensorSpec{Alias: "x", Ref: "x:0", DType: "float32", Shape: []int{-1}}
+	specI32 := TensorSpec{Alias: "x", Ref: "x:0", DType: "int32", Shape: []int{-1}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParsePredictRequest(data)
+		if err != nil {
+			return
+		}
+		// Postconditions of a successful parse.
+		if len(req.Inputs) == 0 {
+			t.Fatal("parse succeeded with zero inputs")
+		}
+		for alias, rt := range req.Inputs {
+			n, err := checkRawShape(rt)
+			if err != nil {
+				t.Fatalf("accepted input %q fails its own shape check: %v", alias, err)
+			}
+			if n > maxRequestElements {
+				t.Fatalf("accepted input %q has %d elements, over the cap", alias, n)
+			}
+			// Binding against a concrete signature must not panic either —
+			// it may error (type mismatches), but a success must produce a
+			// tensor of exactly the declared shape.
+			for _, spec := range []TensorSpec{spec32, specI32} {
+				bound, err := rt.Bind(spec)
+				if err != nil {
+					continue
+				}
+				if bound.NumElements() != n {
+					t.Fatalf("Bind produced %d elements for %d values", bound.NumElements(), n)
+				}
+				if bound.DType() != tensor.Float32 && bound.DType() != tensor.Int32 {
+					t.Fatalf("Bind produced dtype %v", bound.DType())
+				}
+			}
+		}
+	})
+}
+
+func FuzzModelVersion(f *testing.F) {
+	seeds := []string{
+		"0", "1", "42", "007", "999999999999999999", "9999999999999999999",
+		"", "-1", "+1", " 1", "1 ", "1.0", "v1", "latest", "0x10", "١٢",
+		"00000000000000000001", "18446744073709551616",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		v, err := ParseVersion(name)
+		if err != nil {
+			return
+		}
+		// Every accepted name is canonical: it round-trips exactly, and no
+		// two distinct accepted names share a value.
+		if v < 0 {
+			t.Fatalf("ParseVersion(%q) = %d, negative", name, v)
+		}
+		if back := FormatVersion(v); back != name {
+			t.Fatalf("ParseVersion(%q) = %d, but FormatVersion gives %q — name is not canonical", name, v, back)
+		}
+	})
+}

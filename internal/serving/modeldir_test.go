@@ -1,0 +1,173 @@
+package serving
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestParseVersion(t *testing.T) {
+	good := map[string]int64{
+		"0":                  0,
+		"1":                  1,
+		"42":                 42,
+		"999999999999999999": 999999999999999999, // 18 digits, fits int64
+	}
+	for name, want := range good {
+		v, err := ParseVersion(name)
+		if err != nil {
+			t.Errorf("ParseVersion(%q): %v", name, err)
+		} else if v != want {
+			t.Errorf("ParseVersion(%q) = %d, want %d", name, v, want)
+		}
+		if back := FormatVersion(want); back != name {
+			t.Errorf("FormatVersion(%d) = %q, want canonical %q", want, back, name)
+		}
+	}
+	bad := []string{
+		"", "-1", "+1", " 1", "1 ", "01", "007", "1.0", "1e3", "v1",
+		"abc", "1a", "١٢", "0x10", "1000000000000000000000000000",
+	}
+	for _, name := range bad {
+		if v, err := ParseVersion(name); err == nil {
+			t.Errorf("ParseVersion(%q) = %d, want error", name, v)
+		}
+	}
+}
+
+func TestWriteReadModelRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	g, sig := testModelGraph(t, 2)
+	if err := WriteModel(root, "m", 1, g, sig); err != nil {
+		t.Fatal(err)
+	}
+	g2, sig2, err := ReadModel(filepath.Join(root, "m", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Errorf("round trip changed node count: %d -> %d", g.NumNodes(), g2.NumNodes())
+	}
+	if sig2.Name != sig.Name || !sig2.Batchable ||
+		len(sig2.Inputs) != 1 || sig2.Inputs[0].Alias != "x" ||
+		len(sig2.Outputs) != 1 || sig2.Outputs[0].Alias != "y" {
+		t.Errorf("round trip mangled signature: %+v", sig2)
+	}
+
+	// A second write of the same version must be refused.
+	if err := WriteModel(root, "m", 1, g, sig); err == nil {
+		t.Error("overwriting an existing version succeeded")
+	}
+	// Negative versions are rejected.
+	if err := WriteModel(root, "m", -3, g, sig); err == nil {
+		t.Error("negative version accepted")
+	}
+	// An invalid signature is rejected before anything hits disk.
+	if err := WriteModel(root, "m2", 1, g, Signature{}); err == nil {
+		t.Error("empty signature accepted")
+	}
+	if _, err := os.Stat(filepath.Join(root, "m2")); !os.IsNotExist(err) {
+		t.Error("rejected model left a directory behind")
+	}
+}
+
+func TestVersionsSkipsJunk(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "m")
+	for _, name := range []string{"1", "3", "10", ".tmp-version-xyz", "v2", "02", "junk"} {
+		if err := os.MkdirAll(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray *file* with a numeric name must also be skipped.
+	if err := os.WriteFile(filepath.Join(dir, "7"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Versions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 3, 10}
+	if len(vs) != len(want) {
+		t.Fatalf("Versions = %v, want %v", vs, want)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("Versions = %v, want %v", vs, want)
+		}
+	}
+	latest, err := LatestVersion(dir)
+	if err != nil || latest != 10 {
+		t.Fatalf("LatestVersion = %d, %v; want 10", latest, err)
+	}
+}
+
+func TestScanModels(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "beta", 1)
+	writeTestModel(t, root, "alpha", 2)
+	// A directory with no valid versions is not a model.
+	if err := os.MkdirAll(filepath.Join(root, "empty"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ScanModels(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("ScanModels = %v, want [alpha beta]", names)
+	}
+}
+
+func TestLoadModelPredict(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	m, err := LoadModel(root, "m", 1, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Predict([]*tensor.Tensor{rowTensor(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scaleForVersion(1) * 5
+	for _, v := range out[0].Float32s() {
+		if v != want {
+			t.Fatalf("predict = %v, want all %v", out[0].Float32s(), want)
+		}
+	}
+}
+
+func TestModelChecksInputs(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	m, err := LoadModel(root, "m", 1, ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	cases := map[string][]*tensor.Tensor{
+		"arity":       {},
+		"nil input":   {nil},
+		"wrong dtype": {tensor.New(tensor.Int32, tensor.Shape{1, testModelCols})},
+		"wrong rank":  {tensor.New(tensor.Float32, tensor.Shape{testModelCols})},
+		"wrong cols":  {tensor.New(tensor.Float32, tensor.Shape{1, testModelCols + 1})},
+		"empty batch": {tensor.New(tensor.Float32, tensor.Shape{0, testModelCols})},
+	}
+	for name, inputs := range cases {
+		if _, err := m.Predict(inputs); err == nil {
+			t.Errorf("%s: Predict accepted bad inputs", name)
+		}
+	}
+	// The batch dimension itself is free.
+	if _, err := m.Predict([]*tensor.Tensor{rowsTensor(0, 3)}); err != nil {
+		t.Errorf("3-row batch rejected: %v", err)
+	}
+}

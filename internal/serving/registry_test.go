@@ -1,0 +1,246 @@
+package serving
+
+// The serving tier's load-bearing guarantees, tested the way the ISSUE
+// gates them: goroutines hammer Predict while a new version swaps in
+// mid-flight, and not one request may be dropped, errored, or answered
+// with rows computed by a version other than the one the response claims.
+// Run under -race via `make race-hot`.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// TestRegistryHotReloadUnderLoad is the kill-style test: 16 goroutines
+// drive sustained predict traffic against version 1 while version 2 is
+// published and reloaded mid-flight. Every response must be internally
+// consistent (output == scaleForVersion(claimed version) * input), versions
+// must never move backwards for any caller, and after the reload returns
+// all traffic must be on version 2.
+func TestRegistryHotReloadUnderLoad(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	reg := NewRegistry(root, ModelOptions{MaxBatch: 8, Window: time.Millisecond})
+	if err := reg.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	const goroutines = 16
+	var (
+		stop      atomic.Bool
+		total     atomic.Int64
+		sawV2     atomic.Int64
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstFail error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstFail = err })
+		stop.Store(true)
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lastVersion := int64(0)
+			for i := 0; !stop.Load(); i++ {
+				in := float32(g*100000 + i)
+				out, version, err := reg.Predict("m", []*tensor.Tensor{rowTensor(in)})
+				if err != nil {
+					fail(err)
+					return
+				}
+				if version < lastVersion {
+					fail(fmt.Errorf("goroutine %d: version went backwards %d -> %d", g, lastVersion, version))
+					return
+				}
+				lastVersion = version
+				want := scaleForVersion(version) * in
+				for _, v := range out[0].Float32s() {
+					if v != want {
+						fail(fmt.Errorf("goroutine %d: response claims v%d but rows are cross-wired (in %v: got %v, want %v)",
+							g, version, in, v, want))
+						return
+					}
+				}
+				total.Add(1)
+				if version == 2 {
+					sawV2.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Let version 1 absorb real traffic, then publish and swap version 2
+	// under load.
+	time.Sleep(20 * time.Millisecond)
+	writeTestModel(t, root, "m", 2)
+	swapped, err := reg.Reload("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !swapped {
+		t.Fatal("Reload did not swap to the new version")
+	}
+	// Reload returning means v1 drained and closed; requests admitted from
+	// here on must all land on v2.
+	out, version, err := reg.Predict("m", []*tensor.Tensor{rowTensor(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 || out[0].Float32s()[0] != scaleForVersion(2)*3 {
+		t.Fatalf("post-reload predict: version %d, rows %v", version, out[0].Float32s())
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if firstFail != nil {
+		t.Fatal(firstFail)
+	}
+	if total.Load() == 0 {
+		t.Fatal("hammer made no requests")
+	}
+	if sawV2.Load() == 0 {
+		t.Error("no hammer goroutine ever observed version 2")
+	}
+	t.Logf("%d predicts across the swap (%d on v2), zero losses", total.Load(), sawV2.Load())
+}
+
+// TestRegistryReloadIsIdempotent: with no newer version on disk, Reload is
+// a cheap no-op that never disturbs the serving model.
+func TestRegistryReloadIsIdempotent(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	reg := NewRegistry(root, ModelOptions{})
+	if err := reg.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	before := reg.Model("m")
+	for i := 0; i < 3; i++ {
+		swapped, err := reg.Reload("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swapped {
+			t.Fatal("Reload swapped with no new version on disk")
+		}
+	}
+	if reg.Model("m") != before {
+		t.Fatal("no-op reload replaced the model")
+	}
+}
+
+// TestRegistryConcurrentReloads: many Reload calls racing one another (the
+// poller firing while an operator reloads by hand) must serialize cleanly
+// and end on the highest version.
+func TestRegistryConcurrentReloads(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	reg := NewRegistry(root, ModelOptions{})
+	if err := reg.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	for v := int64(2); v <= 5; v++ {
+		writeTestModel(t, root, "m", v)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := reg.Reload("m"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if m := reg.Model("m"); m == nil || m.Version != 5 {
+		t.Fatalf("after racing reloads, serving %+v, want version 5", m)
+	}
+}
+
+// TestRegistryConcurrentModels runs two frozen graphs in one process —
+// separate sessions, one pooled executor pool each — hammered concurrently
+// under -race, each keeping its own identity.
+func TestRegistryConcurrentModels(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "alpha", 1) // scale 2
+	writeTestModel(t, root, "beta", 3)  // scale 4
+	reg := NewRegistry(root, ModelOptions{MaxBatch: 4, Window: time.Millisecond})
+	if err := reg.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name, version := "alpha", int64(1)
+			if g%2 == 1 {
+				name, version = "beta", 3
+			}
+			for i := 0; i < 40; i++ {
+				in := float32(g*1000 + i)
+				out, gotV, err := reg.Predict(name, []*tensor.Tensor{rowTensor(in)})
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					return
+				}
+				if gotV != version {
+					t.Errorf("%s served version %d, want %d", name, gotV, version)
+					return
+				}
+				if got, want := out[0].Float32s()[0], scaleForVersion(version)*in; got != want {
+					t.Errorf("%s: got %v, want %v — models cross-wired", name, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRegistryCloseDrains: Close must complete with traffic in flight and
+// leave every subsequent predict failing cleanly.
+func TestRegistryCloseDrains(t *testing.T) {
+	root := t.TempDir()
+	writeTestModel(t, root, "m", 1)
+	reg := NewRegistry(root, ModelOptions{MaxBatch: 4, Window: time.Millisecond})
+	if err := reg.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				// Errors are fine once Close lands; panics or hangs are not.
+				reg.Predict("m", []*tensor.Tensor{rowTensor(float32(g))})
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	reg.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("predict hung across registry Close")
+	}
+	if _, _, err := reg.Predict("m", []*tensor.Tensor{rowTensor(1)}); err == nil {
+		t.Fatal("predict succeeded after Close")
+	}
+}

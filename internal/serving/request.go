@@ -1,0 +1,213 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Predict wire format (cmd/tfserve):
+//
+//	POST /v1/models/<name>:predict
+//	{"inputs": {"x": {"shape": [2, 4], "values": [1, 2, 3, ...]}}}
+//
+// Values are flat, row-major, and typed by the model's signature — the
+// request never names a dtype, so a client cannot disagree with the model
+// about one. The response mirrors the shape:
+//
+//	{"model": "...", "version": 3,
+//	 "outputs": {"y": {"dtype": "float32", "shape": [2, 3], "values": [...]}}}
+
+// maxRequestElements bounds the total element count of any one request
+// tensor, so a hostile shape cannot make the decoder allocate gigabytes.
+const maxRequestElements = 1 << 22
+
+// RawTensor is one not-yet-typed tensor in a predict request.
+type RawTensor struct {
+	Shape []int `json:"shape"`
+	// Values holds the flat elements: numbers (json.Number), bools or
+	// strings; the signature's dtype decides how they bind.
+	Values []any `json:"values"`
+}
+
+// PredictRequest is a decoded predict call, inputs keyed by signature
+// alias.
+type PredictRequest struct {
+	Inputs map[string]RawTensor `json:"inputs"`
+}
+
+// ParsePredictRequest decodes and validates the predict JSON body. Shapes
+// must be non-negative, small enough to allocate, and consistent with the
+// flat value count; anything else is a client error, never a panic.
+func ParsePredictRequest(data []byte) (*PredictRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("serving: bad predict request: %w", err)
+	}
+	if len(req.Inputs) == 0 {
+		return nil, fmt.Errorf("serving: predict request has no inputs")
+	}
+	for alias, rt := range req.Inputs {
+		if _, err := checkRawShape(rt); err != nil {
+			return nil, fmt.Errorf("serving: input %q: %w", alias, err)
+		}
+	}
+	return &req, nil
+}
+
+// checkRawShape validates a raw tensor's shape against its value count and
+// returns the element count.
+func checkRawShape(rt RawTensor) (int, error) {
+	n := 1
+	for _, d := range rt.Shape {
+		if d < 0 {
+			return 0, fmt.Errorf("negative dimension %d in shape %v", d, rt.Shape)
+		}
+		if d > 0 && n > maxRequestElements/d {
+			return 0, fmt.Errorf("shape %v is too large (max %d elements)", rt.Shape, maxRequestElements)
+		}
+		n *= d
+	}
+	if n != len(rt.Values) {
+		return 0, fmt.Errorf("shape %v wants %d values, got %d", rt.Shape, n, len(rt.Values))
+	}
+	return n, nil
+}
+
+// Bind types a raw tensor against a signature spec, producing the dense
+// tensor the executor feeds.
+func (rt RawTensor) Bind(spec TensorSpec) (*tensor.Tensor, error) {
+	n, err := checkRawShape(rt)
+	if err != nil {
+		return nil, fmt.Errorf("serving: input %q: %w", spec.Alias, err)
+	}
+	// Validate against the signature here, so a bad shape is a client
+	// error at the HTTP edge rather than a failure inside the model. A -1
+	// spec dimension (the batch, or any unknown dim) accepts anything.
+	if len(spec.Shape) > 0 {
+		if len(rt.Shape) != len(spec.Shape) {
+			return nil, fmt.Errorf("serving: input %q wants rank %d (shape %v), got shape %v",
+				spec.Alias, len(spec.Shape), spec.Shape, rt.Shape)
+		}
+		for d, want := range spec.Shape {
+			if want >= 0 && rt.Shape[d] != want {
+				return nil, fmt.Errorf("serving: input %q dim %d wants %d, got shape %v",
+					spec.Alias, d, want, rt.Shape)
+			}
+		}
+	}
+	dt, err := tensor.ParseDType(spec.DType)
+	if err != nil {
+		return nil, err
+	}
+	t := tensor.New(dt, tensor.Shape(rt.Shape))
+	for i := 0; i < n; i++ {
+		if err := setElement(t, dt, i, rt.Values[i]); err != nil {
+			return nil, fmt.Errorf("serving: input %q value %d: %w", spec.Alias, i, err)
+		}
+	}
+	return t, nil
+}
+
+func setElement(t *tensor.Tensor, dt tensor.DType, i int, v any) error {
+	switch dt {
+	case tensor.Float32, tensor.Float64:
+		num, ok := v.(json.Number)
+		if !ok {
+			return fmt.Errorf("want a number, got %T", v)
+		}
+		f, err := num.Float64()
+		if err != nil {
+			return err
+		}
+		t.SetFloat(i, f)
+	case tensor.Int32, tensor.Int64:
+		num, ok := v.(json.Number)
+		if !ok {
+			return fmt.Errorf("want a number, got %T", v)
+		}
+		x, err := num.Int64()
+		if err != nil {
+			return err
+		}
+		if dt == tensor.Int32 {
+			if int64(int32(x)) != x {
+				return fmt.Errorf("%d overflows int32", x)
+			}
+			t.Int32s()[i] = int32(x)
+		} else {
+			t.Int64s()[i] = x
+		}
+	case tensor.Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("want a bool, got %T", v)
+		}
+		t.Bools()[i] = b
+	case tensor.String:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("want a string, got %T", v)
+		}
+		t.Strings()[i] = s
+	default:
+		return fmt.Errorf("unsupported dtype %v", dt)
+	}
+	return nil
+}
+
+// RespTensor is one output tensor in a predict response.
+type RespTensor struct {
+	DType  string `json:"dtype"`
+	Shape  []int  `json:"shape"`
+	Values []any  `json:"values"`
+}
+
+// PredictResponse is the predict reply body.
+type PredictResponse struct {
+	Model   string                `json:"model"`
+	Version int64                 `json:"version"`
+	Outputs map[string]RespTensor `json:"outputs"`
+}
+
+// EncodeTensor renders a dense tensor as a response tensor.
+func EncodeTensor(t *tensor.Tensor) RespTensor {
+	n := t.NumElements()
+	vals := make([]any, n)
+	switch t.DType() {
+	case tensor.Float32:
+		for i, v := range t.Float32s() {
+			vals[i] = v
+		}
+	case tensor.Float64:
+		for i, v := range t.Float64s() {
+			vals[i] = v
+		}
+	case tensor.Int32:
+		for i, v := range t.Int32s() {
+			vals[i] = v
+		}
+	case tensor.Int64:
+		for i, v := range t.Int64s() {
+			vals[i] = v
+		}
+	case tensor.Bool:
+		for i, v := range t.Bools() {
+			vals[i] = v
+		}
+	case tensor.String:
+		for i, v := range t.Strings() {
+			vals[i] = v
+		}
+	}
+	return RespTensor{
+		DType:  t.DType().String(),
+		Shape:  append([]int(nil), t.Shape()...),
+		Values: vals,
+	}
+}

@@ -1,0 +1,151 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Server exposes a Registry over HTTP/JSON — the thin edge of cmd/tfserve:
+//
+//	POST /v1/models/<name>:predict   run one predict
+//	GET  /v1/models                  status of every loaded model
+//	GET  /healthz                    liveness: 200 once models are loaded
+type Server struct {
+	reg *Registry
+}
+
+// NewServer wraps a registry.
+func NewServer(reg *Registry) *Server { return &Server{reg: reg} }
+
+// maxBodyBytes bounds a predict request body.
+const maxBodyBytes = 64 << 20
+
+// Handler returns the HTTP routing for the serving API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/models", s.handleStatus)
+	mux.HandleFunc("/v1/models/", s.handleModel)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
+	if len(s.reg.Status()) == 0 {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no models loaded"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, map[string]any{"models": s.reg.Status()})
+}
+
+// handleModel dispatches /v1/models/<name>:predict and /v1/models/<name>.
+func (s *Server) handleModel(w http.ResponseWriter, req *http.Request) {
+	rest := strings.TrimPrefix(req.URL.Path, "/v1/models/")
+	if name, ok := strings.CutSuffix(rest, ":predict"); ok {
+		s.handlePredict(w, req, name)
+		return
+	}
+	// Status of one model.
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET, or POST to :predict"))
+		return
+	}
+	m := s.reg.Model(rest)
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", rest))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"name": m.Name, "version": m.Version, "signature": m.Sig,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, req *http.Request, name string) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	m := s.reg.Model(name)
+	if m == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	preq, err := ParsePredictRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	inputs, err := bindInputs(m.Sig, preq)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	outputs, version, err := s.reg.Predict(name, inputs)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := PredictResponse{Model: name, Version: version, Outputs: make(map[string]RespTensor, len(outputs))}
+	for i, out := range outputs {
+		resp.Outputs[m.Sig.Outputs[i].Alias] = EncodeTensor(out)
+	}
+	writeJSON(w, resp)
+}
+
+// bindInputs types the request's raw tensors against the signature,
+// positionally ordered for Model.Predict.
+func bindInputs(sig Signature, preq *PredictRequest) ([]*tensor.Tensor, error) {
+	if len(preq.Inputs) != len(sig.Inputs) {
+		return nil, fmt.Errorf("serving: signature %q wants %d inputs, request has %d", sig.Name, len(sig.Inputs), len(preq.Inputs))
+	}
+	inputs := make([]*tensor.Tensor, len(sig.Inputs))
+	for i, spec := range sig.Inputs {
+		rt, ok := preq.Inputs[spec.Alias]
+		if !ok {
+			return nil, fmt.Errorf("serving: request is missing input %q", spec.Alias)
+		}
+		t, err := rt.Bind(spec)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = t
+	}
+	return inputs, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,89 @@
+package serving
+
+// Shared test fixtures: a hand-built batchable frozen graph (y = scale * x
+// over a [-1, 4] placeholder) small enough that a version's identity is
+// readable straight out of its predictions — version v scales by v+1, so a
+// response proves exactly which version computed it.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	_ "repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+const testModelCols = 4
+
+// scaleForVersion is the invariant the hot-reload tests lean on: version v
+// of a test model multiplies its input by v+1.
+func scaleForVersion(v int64) float32 { return float32(v + 1) }
+
+// testModelGraph builds the frozen form of y = scale*x directly: a
+// batchable Placeholder feeding a Mul against a folded-in Const — exactly
+// what the freeze pass emits for a one-weight model.
+func testModelGraph(t testing.TB, scale float32) (*graph.Graph, Signature) {
+	t.Helper()
+	g := graph.New()
+	x, err := g.AddNode("Placeholder", nil, graph.NodeArgs{
+		Name:  "x",
+		Attrs: map[string]any{"dtype": tensor.Float32, "shape": tensor.Shape{-1, testModelCols}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.AddNode("Const", nil, graph.NodeArgs{
+		Name:  "w",
+		Attrs: map[string]any{"value": tensor.Scalar(scale)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := g.AddNode("Mul", []graph.Endpoint{x.Out(0), w.Out(0)}, graph.NodeArgs{Name: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = y
+	sig := Signature{
+		Name: "predict",
+		Inputs: []TensorSpec{{
+			Alias: "x", Ref: "x:0", DType: "float32", Shape: []int{-1, testModelCols},
+		}},
+		Outputs: []TensorSpec{{
+			Alias: "y", Ref: "y:0", DType: "float32", Shape: []int{-1, testModelCols},
+		}},
+		Batchable: true,
+	}
+	return g, sig
+}
+
+// writeTestModel exports one version of the scale model under root.
+func writeTestModel(t testing.TB, root, name string, version int64) {
+	t.Helper()
+	g, sig := testModelGraph(t, scaleForVersion(version))
+	if err := WriteModel(root, name, version, g, sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowTensor builds one [1, testModelCols] request row filled with v.
+func rowTensor(v float32) *tensor.Tensor {
+	t := tensor.New(tensor.Float32, tensor.Shape{1, testModelCols})
+	for i := range t.Float32s() {
+		t.Float32s()[i] = v
+	}
+	return t
+}
+
+// rowsTensor builds an [n, testModelCols] input whose row i is filled with
+// base+i, so scatter bugs (rows swapped between callers) are detectable.
+func rowsTensor(base float32, n int) *tensor.Tensor {
+	t := tensor.New(tensor.Float32, tensor.Shape{n, testModelCols})
+	vals := t.Float32s()
+	for r := 0; r < n; r++ {
+		for c := 0; c < testModelCols; c++ {
+			vals[r*testModelCols+c] = base + float32(r)
+		}
+	}
+	return t
+}

@@ -3,18 +3,19 @@
 # benchmark unless overridden) as a compile/run smoke gate, and records a
 # machine-readable snapshot of the headline numbers the ROADMAP tracks —
 # executor op dispatch rate, end-to-end training-step time (dense and
-# through-control-flow), distributed step time, MatMul GFLOPS, and the
-# fused-vs-unfused training-step ablation.
+# through-control-flow), distributed step time, MatMul GFLOPS, the
+# fused-vs-unfused training-step ablation, and the serving tier's
+# batched-vs-unbatched predict throughput and latency percentiles.
 #
 # Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
 #   benchtime     go -benchtime value (default 1x: smoke gate)
-#   output        JSON snapshot path (default BENCH_PR6.json)
+#   output        JSON snapshot path (default BENCH_PR7.json)
 #   benchpattern  -bench regexp (default ".": whole suite); use a subset
 #                 with a longer benchtime to refresh the snapshot stably
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR7.json}"
 PATTERN="${3:-.}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -43,6 +44,34 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   }
   /^BenchmarkAblationFusedKernels\/fused/   { fused_ns = $3 }
   /^BenchmarkAblationFusedKernels\/unfused/ { unfused_ns = $3 }
+  /^BenchmarkServePredict\/unbatched/ {
+    for (i = 1; i <= NF; i++) {
+      if ($(i + 1) == "qps")    serve0_qps = $i
+      if ($(i + 1) == "p50-µs") serve0_p50 = $i
+      if ($(i + 1) == "p99-µs") serve0_p99 = $i
+    }
+  }
+  /^BenchmarkServePredict\/window=1ms/ {
+    for (i = 1; i <= NF; i++) {
+      if ($(i + 1) == "qps")    serve1_qps = $i
+      if ($(i + 1) == "p50-µs") serve1_p50 = $i
+      if ($(i + 1) == "p99-µs") serve1_p99 = $i
+    }
+  }
+  /^BenchmarkServePredict\/window=5ms/ {
+    for (i = 1; i <= NF; i++) {
+      if ($(i + 1) == "qps")    serve5_qps = $i
+      if ($(i + 1) == "p50-µs") serve5_p50 = $i
+      if ($(i + 1) == "p99-µs") serve5_p99 = $i
+    }
+  }
+  /^BenchmarkServePredict\/window=10ms/ {
+    for (i = 1; i <= NF; i++) {
+      if ($(i + 1) == "qps")    serve10_qps = $i
+      if ($(i + 1) == "p50-µs") serve10_p50 = $i
+      if ($(i + 1) == "p99-µs") serve10_p99 = $i
+    }
+  }
   END {
     n = 0
     lines[n++] = sprintf("  \"date\": \"%s\"", date)
@@ -58,6 +87,18 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (gflops64 != "")  lines[n++] = sprintf("  \"matmul_f64_256x256_gflops\": %s", gflops64)
     if (fused_ns != "")   lines[n++] = sprintf("  \"fused_training_step_ns\": %s", fused_ns)
     if (unfused_ns != "") lines[n++] = sprintf("  \"unfused_training_step_ns\": %s", unfused_ns)
+    if (serve0_qps != "")  lines[n++] = sprintf("  \"serve_unbatched_qps\": %s", serve0_qps)
+    if (serve0_p50 != "")  lines[n++] = sprintf("  \"serve_unbatched_p50_us\": %s", serve0_p50)
+    if (serve0_p99 != "")  lines[n++] = sprintf("  \"serve_unbatched_p99_us\": %s", serve0_p99)
+    if (serve1_qps != "")  lines[n++] = sprintf("  \"serve_window_1ms_qps\": %s", serve1_qps)
+    if (serve1_p50 != "")  lines[n++] = sprintf("  \"serve_window_1ms_p50_us\": %s", serve1_p50)
+    if (serve1_p99 != "")  lines[n++] = sprintf("  \"serve_window_1ms_p99_us\": %s", serve1_p99)
+    if (serve5_qps != "")  lines[n++] = sprintf("  \"serve_window_5ms_qps\": %s", serve5_qps)
+    if (serve5_p50 != "")  lines[n++] = sprintf("  \"serve_window_5ms_p50_us\": %s", serve5_p50)
+    if (serve5_p99 != "")  lines[n++] = sprintf("  \"serve_window_5ms_p99_us\": %s", serve5_p99)
+    if (serve10_qps != "") lines[n++] = sprintf("  \"serve_window_10ms_qps\": %s", serve10_qps)
+    if (serve10_p50 != "") lines[n++] = sprintf("  \"serve_window_10ms_p50_us\": %s", serve10_p50)
+    if (serve10_p99 != "") lines[n++] = sprintf("  \"serve_window_10ms_p99_us\": %s", serve10_p99)
     printf "{\n"
     for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n - 1 ? "," : "")
     printf "}\n"

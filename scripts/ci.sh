@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 CI gate. The gate itself is defined once, in the Makefile:
 #   gofmt -l gating  →  go vet  →  go build  →  go test ./...
-#   + race detector on internal/exec and internal/distributed
+#   + race detector on the concurrency-heavy packages (incl. internal/serving)
+#   + a short -fuzztime smoke run of the serving fuzz targets
+#     (FuzzPredictRequest, FuzzModelVersion; override with FUZZTIME=30s)
 set -eu
 cd "$(dirname "$0")/.."
 exec make ci

@@ -1,0 +1,185 @@
+package tf
+
+import (
+	"fmt"
+
+	"repro/internal/build"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/serving"
+	"repro/internal/tensor"
+)
+
+// Freezing is the export half of the deployment story (§2, §7): a trained
+// graph is reduced to a pure predict function — variables folded into
+// Consts holding their trained values, the graph pruned to one named
+// signature of feeds and fetches, the compile-time optimization pipeline
+// run over the result — and serialized into a versioned model directory
+// that cmd/tfserve serves.
+
+// SigTensor names one input or output of a predict signature.
+type SigTensor struct {
+	// Alias is the client-facing name ("image", "logits").
+	Alias string
+	// Output is the graph edge behind it. Inputs need not be placeholders:
+	// any edge Session.Run could feed works, e.g. the dequeue output of an
+	// input pipeline.
+	Output Output
+}
+
+// FreezeOptions configures Freeze.
+type FreezeOptions struct {
+	// SignatureName names the predict signature; default "predict".
+	SignatureName string
+	// BatchDim relaxes dimension 0 of every input to -1 in the frozen
+	// graph and marks the signature batchable, so the serving tier may
+	// stack concurrent requests along axis 0. Requires every input (and,
+	// at serve time, every output) to carry a leading batch dimension.
+	BatchDim bool
+	// DisableOptimizations skips the compile-time pass pipeline on the
+	// frozen graph (it runs by default, so serving gets fused kernels).
+	DisableOptimizations bool
+}
+
+// Frozen is an exported-ready model: the frozen graph plus its signature.
+type Frozen struct {
+	g   *graph.Graph
+	sig serving.Signature
+}
+
+// Freeze snapshots the session's initialized variables and builds the
+// frozen inference graph for the given signature. The session must have
+// run the variables' initializers (or restored a checkpoint) first.
+func Freeze(sess *Session, inputs, outputs []SigTensor, opts FreezeOptions) (*Frozen, error) {
+	if opts.SignatureName == "" {
+		opts.SignatureName = "predict"
+	}
+	if len(inputs) == 0 || len(outputs) == 0 {
+		return nil, fmt.Errorf("tf: freeze needs at least one input and one output")
+	}
+	spec := graph.FreezeSpec{
+		Values: sess.Core().Device().Resources().SnapshotVariables(),
+	}
+	if opts.BatchDim {
+		spec.FeedShapes = make([]tensor.Shape, len(inputs))
+	}
+	for i, in := range inputs {
+		if !in.Output.Valid() {
+			return nil, fmt.Errorf("tf: freeze input %q is invalid", in.Alias)
+		}
+		spec.Feeds = append(spec.Feeds, in.Output.Unwrap())
+		if opts.BatchDim {
+			shape := in.Output.Shape().Clone()
+			if shape.Rank() == 0 {
+				return nil, fmt.Errorf("tf: freeze input %q is a scalar; a batchable signature needs a leading batch dimension", in.Alias)
+			}
+			shape[0] = -1
+			spec.FeedShapes[i] = shape
+		}
+	}
+	for _, out := range outputs {
+		if !out.Output.Valid() {
+			return nil, fmt.Errorf("tf: freeze output %q is invalid", out.Alias)
+		}
+		spec.Fetches = append(spec.Fetches, out.Output.Unwrap())
+	}
+
+	fz, err := graph.Freeze(sess.gr.Raw(), spec)
+	if err != nil {
+		return nil, err
+	}
+
+	fetches := fz.Fetches
+	if !opts.DisableOptimizations {
+		// Same pipeline a serving session would otherwise run at load time
+		// (§5); doing it at export time means every replica serves the
+		// already-fused graph.
+		pipe := graph.NewPipeline(exec.Evaluator("CPU", nil), graph.PipelineOptions{})
+		res, err := pipe.Run(fz.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("tf: optimizing frozen graph: %w", err)
+		}
+		remapped := make([]graph.Endpoint, len(fetches))
+		for i, f := range fetches {
+			remapped[i] = graph.Remap(res.Replaced, f)
+		}
+		fetches = remapped
+	}
+
+	sig := serving.Signature{Name: opts.SignatureName, Batchable: opts.BatchDim}
+	for i, in := range inputs {
+		ep := fz.Feeds[i]
+		sig.Inputs = append(sig.Inputs, serving.TensorSpec{
+			Alias: in.Alias,
+			Ref:   ep.String(),
+			DType: ep.DType().String(),
+			Shape: append([]int(nil), ep.Shape()...),
+		})
+	}
+	for i, out := range outputs {
+		ep := fetches[i]
+		sig.Outputs = append(sig.Outputs, serving.TensorSpec{
+			Alias: out.Alias,
+			Ref:   ep.String(),
+			DType: ep.DType().String(),
+			Shape: append([]int(nil), ep.Shape()...),
+		})
+	}
+	return &Frozen{g: fz.Graph, sig: sig}, nil
+}
+
+// Graph exposes the frozen graph (tools, tests).
+func (f *Frozen) Graph() *graph.Graph { return f.g }
+
+// Signature returns the predict signature.
+func (f *Frozen) Signature() serving.Signature { return f.sig }
+
+// Export writes the frozen model as <root>/<name>/<version>/ in the
+// serving layout. The version directory appears atomically, so a serving
+// process polling the root can never load a half-written model.
+func (f *Frozen) Export(root, name string, version int64) error {
+	return serving.WriteModel(root, name, version, f.g, f.sig)
+}
+
+// Session returns a local session over the frozen graph, with the feed and
+// fetch Outputs rebound to it — the in-process way to run a frozen model
+// (tests, batch jobs); network serving goes through internal/serving.
+func (f *Frozen) Session() (*Session, map[string]Output, error) {
+	gr := &Graph{g: f.g, b: build.New(f.g), st: &graphState{}}
+	outs := make(map[string]Output, len(f.sig.Inputs)+len(f.sig.Outputs))
+	for _, specs := range [][]serving.TensorSpec{f.sig.Inputs, f.sig.Outputs} {
+		for _, ts := range specs {
+			n := f.g.ByName(endpointName(ts.Ref))
+			if n == nil {
+				return nil, nil, fmt.Errorf("tf: frozen signature ref %q names no node", ts.Ref)
+			}
+			outs[ts.Alias] = Output{ep: n.Out(endpointIndex(ts.Ref)), g: gr}
+		}
+	}
+	// The graph was optimized at export; the session skips the pipeline.
+	s, err := NewSession(gr, SessionOptions{DisableOptimizations: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, outs, nil
+}
+
+func endpointName(ref string) string {
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == ':' {
+			return ref[:i]
+		}
+	}
+	return ref
+}
+
+func endpointIndex(ref string) int {
+	idx := 0
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == ':' {
+			fmt.Sscanf(ref[i+1:], "%d", &idx)
+			break
+		}
+	}
+	return idx
+}
