@@ -1,13 +1,14 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race race-hot bench bench-smoke fuzz-smoke golden
+.PHONY: ci fmt vet build test race race-hot chaos bench bench-smoke fuzz-smoke golden
 
 # Tier-1 gate: everything must be gofmt-clean, vet, build, and test
 # green, the concurrency-heavy packages must pass under the race
-# detector, every root benchmark must compile and run once, and the
-# serving parsers must survive a short fuzz run.
-ci: fmt vet build test race-hot bench-smoke fuzz-smoke
+# detector, the chaos/elastic fault-injection suite must pass under a
+# pinned fault schedule, every root benchmark must compile and run
+# once, and the serving parsers must survive a short fuzz run.
+ci: fmt vet build test race-hot chaos bench-smoke fuzz-smoke
 
 # Fail if any tracked Go file is not gofmt-formatted.
 fmt:
@@ -38,6 +39,21 @@ race:
 # micro-batcher hammer tests.
 race-hot:
 	$(GO) test -race -count=1 ./internal/exec/... ./internal/distributed/... ./internal/serving/... ./tf/train/... ./tf
+
+# Chaos/elastic fault-injection suite under the race detector with a
+# PINNED fault schedule: every drop/delay/duplicate/partition decision
+# derives from CHAOS_SEED, so a failure reproduces exactly with the
+# seed the failing test logs (rerun as `CHAOS_SEED=<n> make chaos`).
+# Covers elastic membership (kill + rejoin at new addresses), heartbeat
+# eviction, one-way partitions vs backup workers, duplicate-delivery
+# idempotence, and dial-backoff gating.
+CHAOS_SEED ?= 20260808
+chaos:
+	@echo "chaos suite: CHAOS_SEED=$(CHAOS_SEED)"
+	@CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 \
+		-run 'Chaos|Elastic|Partition|Duplicate|Heartbeat|Membership|DialBackoff|DynamicCluster' \
+		./internal/distributed/ \
+		|| { echo "chaos suite FAILED — reproduce with: CHAOS_SEED=$(CHAOS_SEED) make chaos"; exit 1; }
 
 # Native-fuzz smoke gate over the serving tier's untrusted-input parsers
 # (predict request bodies, model version names). Seeds live in

@@ -142,6 +142,21 @@ type SaveShardResp struct {
 	Saved int
 }
 
+// HeartbeatReq probes a task's liveness. The failure detector sends one per
+// probe interval; any task that answers is alive, whatever else it is doing
+// (§4.3: failures are detected by the absence of periodic health messages,
+// not by in-band step errors).
+type HeartbeatReq struct{}
+
+// HeartbeatResp identifies the answering task. Incarnation is unique per
+// Worker instance in a process, so a detector (or resolver) can tell a
+// restarted task — same name, same address, fresh state — apart from the
+// instance it probed before.
+type HeartbeatResp struct {
+	Task        string
+	Incarnation int64
+}
+
 // ErrUnavailable marks transport-level failures — the peer task cannot be
 // reached (dial refused, connection lost mid-call, client torn down). They
 // are the retryable class of §4.3's failure model: the task may come back,
@@ -172,6 +187,7 @@ type Transport interface {
 	RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error)
 	AbortStep(req *AbortStepReq) error
 	SaveShard(req *SaveShardReq) (*SaveShardResp, error)
+	Heartbeat(req *HeartbeatReq) (*HeartbeatResp, error)
 	Close() error
 }
 

@@ -2,6 +2,7 @@ package distributed
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
@@ -297,9 +298,14 @@ func (m *Master) Run(feeds map[graph.Endpoint]*tensor.Tensor, fetches []graph.En
 		}
 		// A restarted task holds none of our handles and the resolver may
 		// cache a dead connection: drop the compiled plans (re-register on
-		// the next compile) and give the task a moment to come back.
+		// the next compile) and give the task a moment to come back, waiting
+		// exponentially longer (with jitter) each consecutive failure.
 		m.Invalidate()
-		time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+		backoff := 25 * time.Millisecond << attempt
+		if backoff > 800*time.Millisecond || backoff <= 0 {
+			backoff = 800 * time.Millisecond
+		}
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
 	}
 }
 

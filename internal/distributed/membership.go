@@ -1,0 +1,273 @@
+package distributed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file makes cluster membership dynamic (§4.3): where ClusterSpec is a
+// frozen task table fixed at startup, DynamicCluster is a versioned slot
+// table that admits tasks joining and leaving mid-training. A slot — one
+// (job, index) pair — is the unit of identity: a task that leaves vacates
+// its slot but the slot keeps its index (and its shard checkpoints, for PS
+// jobs), and a later join fills the lowest vacant slot at a possibly new
+// address. Keeping indices stable is what lets the replication layer's
+// variable→shard mapping and the per-slot checkpoint files survive task
+// churn: a replacement PS at slot k restores slot k's shard, wherever it
+// now listens.
+
+// MembershipKind tags one membership event.
+type MembershipKind string
+
+const (
+	// MemberJoined: a task filled a slot (new or vacated).
+	MemberJoined MembershipKind = "joined"
+	// MemberLeft: a task vacated its slot (explicit leave or failure
+	// detector verdict).
+	MemberLeft MembershipKind = "left"
+)
+
+// MembershipEvent records one membership change, for tests and logs.
+type MembershipEvent struct {
+	Version int64
+	Kind    MembershipKind
+	Task    string
+	Addr    string
+}
+
+// membershipEventMemory bounds the retained event log.
+const membershipEventMemory = 1024
+
+type memberSlot struct {
+	addr string
+	live bool
+}
+
+// DynamicCluster is a mutable, versioned cluster membership table plus the
+// resolver that routes to it. Every mutation bumps the version and wakes
+// watchers; consumers compare versions to detect membership drift and
+// re-resolve tasks through Resolver(), which always routes to a slot's
+// current address.
+type DynamicCluster struct {
+	mu       sync.Mutex
+	jobs     map[string][]*memberSlot
+	version  int64
+	watchers map[int]chan struct{}
+	nextID   int
+	events   []MembershipEvent
+	cache    *clientCache
+}
+
+// NewDynamicCluster starts from an initial spec with every task live.
+func NewDynamicCluster(initial ClusterSpec) *DynamicCluster {
+	c := &DynamicCluster{
+		jobs:     map[string][]*memberSlot{},
+		watchers: map[int]chan struct{}{},
+		cache:    newClientCache(nil),
+	}
+	for job, addrs := range initial {
+		for _, addr := range addrs {
+			c.jobs[job] = append(c.jobs[job], &memberSlot{addr: addr, live: true})
+		}
+	}
+	return c
+}
+
+// Version returns the membership version; it bumps on every change.
+func (c *DynamicCluster) Version() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Snapshot returns the full slot table as a ClusterSpec. Vacant slots keep
+// their last-known address so task indices (and the device set derived from
+// them) stay stable across churn; use LiveTasks to know which are serving.
+func (c *DynamicCluster) Snapshot() ClusterSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec := ClusterSpec{}
+	for job, slots := range c.jobs {
+		addrs := make([]string, len(slots))
+		for i, s := range slots {
+			addrs[i] = s.addr
+		}
+		spec[job] = addrs
+	}
+	return spec
+}
+
+// Slots returns how many slots (live or vacant) the job has.
+func (c *DynamicCluster) Slots(job string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobs[job])
+}
+
+// LiveTasks returns the indices of the job's live slots, ascending.
+func (c *DynamicCluster) LiveTasks(job string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for i, s := range c.jobs[job] {
+		if s.live {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Complete reports whether every slot of the job is live.
+func (c *DynamicCluster) Complete(job string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.jobs[job] {
+		if !s.live {
+			return false
+		}
+	}
+	return true
+}
+
+// Join admits a task serving at addr into the job, filling the lowest
+// vacant slot — the replacement inherits that slot's identity and, for PS
+// jobs, its shard checkpoints — or appending a new slot when none is
+// vacant (elastic scale-out). It returns the slot index.
+func (c *DynamicCluster) Join(job, addr string) (int, error) {
+	if addr == "" {
+		return 0, fmt.Errorf("distributed: join needs an address")
+	}
+	c.mu.Lock()
+	idx := -1
+	for i, s := range c.jobs[job] {
+		if !s.live {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		c.jobs[job] = append(c.jobs[job], &memberSlot{})
+		idx = len(c.jobs[job]) - 1
+	}
+	s := c.jobs[job][idx]
+	s.addr = addr
+	s.live = true
+	task := TaskName(job, idx)
+	c.bumpLocked(MembershipEvent{Kind: MemberJoined, Task: task, Addr: addr})
+	c.mu.Unlock()
+	// The slot may have a cached client for its previous occupant.
+	c.cache.evict(task)
+	return idx, nil
+}
+
+// Leave vacates the job's slot at index: the failure detector calls it when
+// a task stops answering heartbeats, and an orderly shutdown may call it
+// directly. The slot keeps its index and last address for a later Join.
+func (c *DynamicCluster) Leave(job string, index int) error {
+	c.mu.Lock()
+	if index < 0 || index >= len(c.jobs[job]) {
+		c.mu.Unlock()
+		return fmt.Errorf("distributed: unknown task %s", TaskName(job, index))
+	}
+	s := c.jobs[job][index]
+	if !s.live {
+		c.mu.Unlock()
+		return nil // already vacant: Leave is idempotent (detector races a manual leave)
+	}
+	s.live = false
+	task := TaskName(job, index)
+	c.bumpLocked(MembershipEvent{Kind: MemberLeft, Task: task, Addr: s.addr})
+	c.mu.Unlock()
+	c.cache.evict(task)
+	return nil
+}
+
+// bumpLocked advances the version, records the event and wakes watchers.
+func (c *DynamicCluster) bumpLocked(ev MembershipEvent) {
+	c.version++
+	ev.Version = c.version
+	c.events = append(c.events, ev)
+	if len(c.events) > membershipEventMemory {
+		c.events = c.events[1:]
+	}
+	for _, ch := range c.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending wakeup
+		}
+	}
+}
+
+// Events returns a copy of the retained membership event log.
+func (c *DynamicCluster) Events() []MembershipEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]MembershipEvent, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Watch registers a membership watcher: the channel receives (capacity 1,
+// coalescing) after every version bump. Call cancel to unregister.
+func (c *DynamicCluster) Watch() (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextID
+	c.nextID++
+	ch := make(chan struct{}, 1)
+	c.watchers[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.watchers, id)
+	}
+}
+
+// Tasks lists the live task names, sorted.
+func (c *DynamicCluster) Tasks() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for job, slots := range c.jobs {
+		for i, s := range slots {
+			if s.live {
+				out = append(out, TaskName(job, i))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Address returns the current address of a live task.
+func (c *DynamicCluster) Address(task string) (string, error) {
+	job, idx, err := ParseTask(task)
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx >= len(c.jobs[job]) {
+		return "", fmt.Errorf("distributed: unknown task %s", task)
+	}
+	s := c.jobs[job][idx]
+	if !s.live {
+		return "", fmt.Errorf("distributed: %w: task %s has left the cluster", ErrUnavailable, task)
+	}
+	return s.addr, nil
+}
+
+// Resolver returns the dynamic TCP resolver: each call routes to the
+// task's current address, so a task replaced at a new address is reachable
+// as soon as membership records the join — no client restart needed. Dials
+// to a failing task back off exponentially (see clientCache).
+func (c *DynamicCluster) Resolver() Resolver {
+	return func(task string) (Transport, error) {
+		addr, err := c.Address(task)
+		if err != nil {
+			return nil, err
+		}
+		return c.cache.get(task, addr)
+	}
+}

@@ -25,6 +25,7 @@ type rpcRequest struct {
 	Recv   *RecvTensorReq
 	Abort  *AbortStepReq
 	Save   *SaveShardReq
+	HB     *HeartbeatReq
 }
 
 type rpcResponse struct {
@@ -34,6 +35,7 @@ type rpcResponse struct {
 	Run  *RunGraphResp
 	Recv *RecvTensorResp
 	Save *SaveShardResp
+	HB   *HeartbeatResp
 }
 
 // Server exposes a Worker over TCP.
@@ -142,6 +144,8 @@ func (s *Server) dispatch(req *rpcRequest, connDone <-chan struct{}) *rpcRespons
 		err = s.worker.AbortStep(req.Abort)
 	case "SaveShard":
 		resp.Save, err = s.worker.SaveShard(req.Save)
+	case "Heartbeat":
+		resp.HB, err = s.worker.Heartbeat(req.HB)
 	default:
 		err = fmt.Errorf("distributed: unknown method %q", req.Method)
 	}
@@ -305,6 +309,15 @@ func (c *Client) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
 	return resp.Save, nil
 }
 
+// Heartbeat implements Transport.
+func (c *Client) Heartbeat(req *HeartbeatReq) (*HeartbeatResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "Heartbeat", HB: req}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.HB, nil
+}
+
 // Close implements Transport.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -333,21 +346,13 @@ func ParseTask(task string) (job string, index int, err error) {
 
 // TCPResolver resolves tasks to cached TCP clients using the cluster spec's
 // addresses (the name-service role of §4.3). A cached client whose
-// connection has died is evicted and redialed, so a restarted task becomes
-// reachable again through the same resolver.
+// connection has died is evicted and redialed — with capped exponential
+// backoff plus jitter between attempts, so a dead task is not hammered by
+// every step retry — and a restarted task becomes reachable again through
+// the same resolver.
 func TCPResolver(spec ClusterSpec) Resolver {
-	var mu sync.Mutex
-	cache := map[string]*Client{}
+	cache := newClientCache(nil)
 	return func(task string) (Transport, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if c, ok := cache[task]; ok {
-			if c.Err() == nil {
-				return c, nil
-			}
-			c.Close()
-			delete(cache, task)
-		}
 		job, idx, err := ParseTask(task)
 		if err != nil {
 			return nil, err
@@ -356,11 +361,6 @@ func TCPResolver(spec ClusterSpec) Resolver {
 		if err != nil {
 			return nil, err
 		}
-		c, err := Dial(addr)
-		if err != nil {
-			return nil, err
-		}
-		cache[task] = c
-		return c, nil
+		return cache.get(task, addr)
 	}
 }

@@ -33,6 +33,11 @@ func (t *InProc) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
 	return t.W.SaveShard(req)
 }
 
+// Heartbeat implements Transport.
+func (t *InProc) Heartbeat(req *HeartbeatReq) (*HeartbeatResp, error) {
+	return t.W.Heartbeat(req)
+}
+
 // Close implements Transport.
 func (t *InProc) Close() error { return nil }
 

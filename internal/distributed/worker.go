@@ -17,8 +17,15 @@ import (
 // abortMemory bounds how many recently-aborted step IDs a worker remembers
 // so a RunGraph that loses the race against its own AbortStep (the master
 // aborts after a fast-failing peer) still aborts immediately instead of
-// running to completion and leaking rendezvous buffers.
+// running to completion and leaking rendezvous buffers. The same bound
+// applies to the completed-step ring that rejects duplicate RunGraph
+// deliveries (a retransmitted RPC must not re-apply a stateful subgraph).
 const abortMemory = 1024
+
+// workerIncarnations stamps each Worker instance in the process with a
+// unique incarnation, reported by Heartbeat so failure detectors can tell a
+// restarted task apart from the one they probed before.
+var workerIncarnations atomic.Int64
 
 // Worker is the dataflow executor service of one task (§5): it registers
 // subgraphs sent by the master, schedules their kernels on the local
@@ -30,6 +37,8 @@ type Worker struct {
 	local    *rendezvous.Local
 	resolver Resolver
 
+	incarnation int64
+
 	mu     sync.Mutex
 	graphs map[string]*registeredGraph
 	steps  map[int64]chan struct{}
@@ -37,8 +46,14 @@ type Worker struct {
 	// so AbortStep arriving before RunGraph still cancels the step.
 	aborted   map[int64]struct{}
 	abortRing []int64
-	nextID    atomic.Int64
-	closed    bool
+	// done remembers recently-completed step IDs so a duplicate RunGraph
+	// delivery (network retransmit, chaos-injected duplication) errors out
+	// instead of re-running the subgraph and double-applying its updates.
+	// Step retries are unaffected: a retried step runs under a fresh ID.
+	done     map[int64]struct{}
+	doneRing []int64
+	nextID   atomic.Int64
+	closed   bool
 }
 
 type registeredGraph struct {
@@ -49,14 +64,22 @@ type registeredGraph struct {
 // resolver locates peers for remote receives.
 func NewWorker(job string, taskIndex int, resolver Resolver) *Worker {
 	return &Worker{
-		task:     TaskName(job, taskIndex),
-		dev:      device.NewCPU(job, taskIndex, 0),
-		local:    rendezvous.NewLocal(),
-		resolver: resolver,
-		graphs:   map[string]*registeredGraph{},
-		steps:    map[int64]chan struct{}{},
-		aborted:  map[int64]struct{}{},
+		task:        TaskName(job, taskIndex),
+		dev:         device.NewCPU(job, taskIndex, 0),
+		local:       rendezvous.NewLocal(),
+		resolver:    resolver,
+		incarnation: workerIncarnations.Add(1),
+		graphs:      map[string]*registeredGraph{},
+		steps:       map[int64]chan struct{}{},
+		aborted:     map[int64]struct{}{},
+		done:        map[int64]struct{}{},
 	}
+}
+
+// Heartbeat implements the service: it answers with the task's identity.
+// Reaching this handler at all is the health signal.
+func (w *Worker) Heartbeat(*HeartbeatReq) (*HeartbeatResp, error) {
+	return &HeartbeatResp{Task: w.task, Incarnation: w.incarnation}, nil
 }
 
 // Task returns the worker's task name.
@@ -157,11 +180,22 @@ func (w *Worker) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
 		w.mu.Unlock()
 		return nil, fmt.Errorf("distributed: %s: step %d aborted before it started", w.task, req.StepID)
 	}
-	abort, ok := w.steps[req.StepID]
-	if !ok {
-		abort = make(chan struct{})
-		w.steps[req.StepID] = abort
+	if _, ran := w.done[req.StepID]; ran {
+		// Duplicate delivery: this step already executed here. Re-running
+		// it would double-apply stateful updates (an optimizer step applied
+		// twice diverges silently), so reject the retransmit; the caller
+		// that got the first response never sees this error.
+		w.mu.Unlock()
+		return nil, fmt.Errorf("distributed: %s: duplicate delivery of step %d", w.task, req.StepID)
 	}
+	if _, inflight := w.steps[req.StepID]; inflight {
+		// Only RunGraph inserts into steps, so an existing entry means this
+		// very step is executing right now — a concurrent duplicate.
+		w.mu.Unlock()
+		return nil, fmt.Errorf("distributed: %s: duplicate delivery of step %d (still running)", w.task, req.StepID)
+	}
+	abort := make(chan struct{})
+	w.steps[req.StepID] = abort
 	w.mu.Unlock()
 	// The step's rendezvous entries are NOT cleaned on success: peers may
 	// still pull values this partition produced after our executor
@@ -191,6 +225,16 @@ func (w *Worker) RunGraph(req *RunGraphReq) (*RunGraphResp, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.mu.Lock()
+	if _, ok := w.done[req.StepID]; !ok {
+		w.done[req.StepID] = struct{}{}
+		w.doneRing = append(w.doneRing, req.StepID)
+		if len(w.doneRing) > abortMemory {
+			delete(w.done, w.doneRing[0])
+			w.doneRing = w.doneRing[1:]
+		}
+	}
+	w.mu.Unlock()
 	return &RunGraphResp{Fetches: out}, nil
 }
 

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 
 // batchRequest is one caller's predict inside the batcher.
 type batchRequest struct {
+	ctx    context.Context
 	inputs []*tensor.Tensor
 	rows   int
 	out    chan batchResult
@@ -52,20 +54,32 @@ func newBatcher(run func([]*tensor.Tensor) ([]*tensor.Tensor, error), maxBatch i
 	return b
 }
 
-// do submits one request and blocks until its rows come back.
-func (b *batcher) do(inputs []*tensor.Tensor, rows int) ([]*tensor.Tensor, error) {
+// do submits one request and blocks until its rows come back or its
+// context expires. An abandoned request still resolves: the result channel
+// is buffered, and the collector hands it a deadline error at dispatch
+// time instead of wasting batch rows on an answer nobody is waiting for.
+func (b *batcher) do(ctx context.Context, inputs []*tensor.Tensor, rows int) ([]*tensor.Tensor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serving: request expired before batching: %w", err)
+	}
 	if rows >= b.maxBatch {
 		// Already at the batch cap: stacking could only split it.
 		return b.run(inputs)
 	}
-	req := &batchRequest{inputs: inputs, rows: rows, out: make(chan batchResult, 1)}
+	req := &batchRequest{ctx: ctx, inputs: inputs, rows: rows, out: make(chan batchResult, 1)}
 	select {
 	case b.submit <- req:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serving: request expired before batching: %w", ctx.Err())
 	case <-b.stop:
 		return nil, fmt.Errorf("serving: model is shutting down")
 	}
-	res := <-req.out
-	return res.outputs, res.err
+	select {
+	case res := <-req.out:
+		return res.outputs, res.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("serving: request expired in the batch queue: %w", ctx.Err())
+	}
 }
 
 // collect is the batcher's single collector goroutine: it owns batch
@@ -122,8 +136,21 @@ func (b *batcher) collect() {
 
 // dispatch stacks the batch's inputs along axis 0, runs one step, and
 // scatters each fetched tensor's rows back to the callers in submission
-// order.
+// order. Requests whose context expired while queued are answered with
+// their deadline error and dropped from the batch first — a caller that
+// already gave up must not occupy rows in (or delay) everyone else's step.
 func (b *batcher) dispatch(batch []*batchRequest) {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.out <- batchResult{err: fmt.Errorf("serving: request expired in the batch queue: %w", r.ctx.Err())}
+			continue
+		}
+		live = append(live, r)
+	}
+	if batch = live; len(batch) == 0 {
+		return
+	}
 	if len(batch) == 1 {
 		outputs, err := b.run(batch[0].inputs)
 		batch[0].out <- batchResult{outputs: outputs, err: err}

@@ -6,6 +6,8 @@ package serving
 // split is exactly the kind of code the race detector earns its keep on.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -53,7 +55,7 @@ func TestBatcherScattersOwnRows(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < iters; i++ {
 				v := float32(g*1000 + i)
-				out, err := b.do([]*tensor.Tensor{rowTensor(v)}, 1)
+				out, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(v)}, 1)
 				if err != nil {
 					errs <- fmt.Errorf("goroutine %d iter %d: %v", g, i, err)
 					return
@@ -103,7 +105,7 @@ func TestBatcherWindowBoundsLatency(t *testing.T) {
 	defer b.close()
 
 	start := time.Now()
-	if _, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1); err != nil {
+	if _, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(1)}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 20*window {
@@ -123,7 +125,7 @@ func TestBatcherFullRequestBypasses(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		if _, err := b.do([]*tensor.Tensor{rowsTensor(0, 4)}, 4); err != nil {
+		if _, err := b.do(context.Background(), []*tensor.Tensor{rowsTensor(0, 4)}, 4); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -147,7 +149,7 @@ func TestBatcherOverflowCarry(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out, err := b.do([]*tensor.Tensor{rowsTensor(float32(i*10), 3)}, 3)
+			out, err := b.do(context.Background(), []*tensor.Tensor{rowsTensor(float32(i*10), 3)}, 3)
 			if err != nil {
 				t.Errorf("request %d: %v", i, err)
 				return
@@ -185,7 +187,7 @@ func TestBatcherErrorFansOut(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1); err == nil {
+			if _, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(1)}, 1); err == nil {
 				t.Error("caller in a failed batch got a nil error")
 			}
 		}()
@@ -209,7 +211,7 @@ func TestBatcherRejectsNonBatchableOutput(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := b.do([]*tensor.Tensor{rowTensor(1)}, 1)
+			_, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(1)}, 1)
 			sawError <- err
 		}()
 	}
@@ -228,6 +230,67 @@ func TestBatcherRejectsNonBatchableOutput(t *testing.T) {
 	}
 }
 
+// TestBatcherExpiredRequestFreesBatchSlot: a request whose context dies
+// while it sits in the forming batch must (1) unblock its caller with the
+// context error immediately, and (2) be dropped from the batch at dispatch
+// time — the step that eventually runs must not spend rows computing an
+// answer nobody is waiting for.
+func TestBatcherExpiredRequestFreesBatchSlot(t *testing.T) {
+	rec := &identityRun{}
+	b := newBatcher(rec.run, 8, 60*time.Millisecond)
+	defer b.close()
+
+	// Pre-expired context: rejected before it ever reaches the collector.
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	if _, err := b.do(expired, []*tensor.Tensor{rowTensor(1)}, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-expired request: err = %v, want context.Canceled", err)
+	}
+	if sizes := rec.sizes(); len(sizes) != 0 {
+		t.Fatalf("pre-expired request reached the model: batches %v", sizes)
+	}
+
+	// Doomed request opens a batch, then its caller gives up mid-window.
+	ctx, cancel := context.WithCancel(context.Background())
+	doomed := make(chan error, 1)
+	go func() {
+		_, err := b.do(ctx, []*tensor.Tensor{rowTensor(99)}, 1)
+		doomed <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the collector adopt it as the batch head
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-doomed:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned caller: err = %v, want context.Canceled", err)
+		}
+		// The caller must not have been held for the remaining window.
+		if waited := time.Since(start); waited > 40*time.Millisecond {
+			t.Errorf("abandoned caller unblocked after %v, want immediately on cancel", waited)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned caller never unblocked")
+	}
+
+	// A live request joins the same forming batch; when the window fires the
+	// doomed request is filtered out and only this row executes.
+	out, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(7)}, 1)
+	if err != nil {
+		t.Fatalf("live request sharing a batch with an expired one: %v", err)
+	}
+	if got := out[0].Float32s()[0]; got != 7 {
+		t.Fatalf("live request got row of %v, want 7", got)
+	}
+	total := 0
+	for _, n := range rec.sizes() {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("model executed %d rows across batches %v, want exactly the 1 live row (expired row must not run)", total, rec.sizes())
+	}
+}
+
 // TestBatcherCloseNeverDropsAcceptedWork hammers do() while the batcher
 // shuts down: every call must return — a result or a shutdown error —
 // never hang on a dropped request.
@@ -243,7 +306,7 @@ func TestBatcherCloseNeverDropsAcceptedWork(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; ; i++ {
-				out, err := b.do([]*tensor.Tensor{rowTensor(float32(g))}, 1)
+				out, err := b.do(context.Background(), []*tensor.Tensor{rowTensor(float32(g))}, 1)
 				if err != nil {
 					rejected.Add(1)
 					return // shutdown reached this caller

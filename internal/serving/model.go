@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -96,6 +97,13 @@ func (m *Model) run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 // through the micro-batcher when one is active. Inputs are positional,
 // aligned with Sig.Inputs.
 func (m *Model) Predict(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	return m.PredictContext(context.Background(), inputs)
+}
+
+// PredictContext is Predict under a caller deadline: a request whose
+// context expires while queued in the micro-batcher fails with the
+// deadline error instead of occupying rows in a batch it no longer wants.
+func (m *Model) PredictContext(ctx context.Context, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	rows, err := m.checkInputs(inputs)
 	if err != nil {
 		return nil, err
@@ -103,7 +111,7 @@ func (m *Model) Predict(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	if m.batcher == nil {
 		return m.run(inputs)
 	}
-	return m.batcher.do(inputs, rows)
+	return m.batcher.do(ctx, inputs, rows)
 }
 
 // checkInputs validates arity, dtype and shape, returning the request's

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -149,6 +150,12 @@ func (e *servedModel) acquire() (*Model, *sync.WaitGroup, error) {
 
 // Predict routes one request to the model's active version.
 func (r *Registry) Predict(name string, inputs []*tensor.Tensor) ([]*tensor.Tensor, int64, error) {
+	return r.PredictContext(context.Background(), name, inputs)
+}
+
+// PredictContext is Predict under the caller's deadline (see
+// Model.PredictContext).
+func (r *Registry) PredictContext(ctx context.Context, name string, inputs []*tensor.Tensor) ([]*tensor.Tensor, int64, error) {
 	r.mu.RLock()
 	e, ok := r.models[name]
 	r.mu.RUnlock()
@@ -160,7 +167,7 @@ func (r *Registry) Predict(name string, inputs []*tensor.Tensor) ([]*tensor.Tens
 		return nil, 0, fmt.Errorf("serving: model %q: %w", name, err)
 	}
 	defer wg.Done()
-	out, err := m.Predict(inputs)
+	out, err := m.PredictContext(ctx, inputs)
 	return out, m.Version, err
 }
 

@@ -102,9 +102,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, req *http.Request, name st
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	outputs, version, err := s.reg.Predict(name, inputs)
+	// The request's context carries the client's deadline (and cancels on
+	// disconnect): a request that expires while queued in the micro-batcher
+	// errors out instead of occupying rows in someone else's batch.
+	outputs, version, err := s.reg.PredictContext(req.Context(), name, inputs)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		status := http.StatusInternalServerError
+		if req.Context().Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		httpError(w, status, err)
 		return
 	}
 	resp := PredictResponse{Model: name, Version: version, Outputs: make(map[string]RespTensor, len(outputs))}

@@ -2,6 +2,9 @@
 # Tier-1 CI gate. The gate itself is defined once, in the Makefile:
 #   gofmt -l gating  →  go vet  →  go build  →  go test ./...
 #   + race detector on the concurrency-heavy packages (incl. internal/serving)
+#   + the chaos/elastic fault-injection suite under -race with a pinned
+#     fault schedule (override with CHAOS_SEED=<n>; the seed is printed,
+#     and echoed again on failure, so any failing schedule reproduces)
 #   + a short -fuzztime smoke run of the serving fuzz targets
 #     (FuzzPredictRequest, FuzzModelVersion; override with FUZZTIME=30s)
 set -eu

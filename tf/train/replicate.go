@@ -32,6 +32,13 @@ type ReplicatedOptions struct {
 	// PSJob and WorkerJob default to "ps" and "worker".
 	PSJob     string
 	WorkerJob string
+	// WorkerTasks and PSTasks select which task indices of each job
+	// participate; nil means every task in the cluster spec. The elastic
+	// layer passes the live subset of a DynamicCluster's slot table, so a
+	// generation can run with holes in it — a left task keeps its slot
+	// index (and its shard checkpoints), survivors keep theirs.
+	WorkerTasks []int
+	PSTasks     []int
 	// Optimizer applies gradients; it is required.
 	Optimizer Optimizer
 	// Sync selects synchronous coordination (Figure 4b/4c); Backups is the
@@ -66,7 +73,14 @@ func (o *ReplicatedOptions) withDefaults() error {
 	if len(o.Cluster[o.WorkerJob]) == 0 {
 		return fmt.Errorf("train: cluster has no %q tasks", o.WorkerJob)
 	}
-	if o.Backups < 0 || (o.Sync && o.Backups >= len(o.Cluster[o.WorkerJob])) {
+	var err error
+	if o.WorkerTasks, err = defaultTasks(o.WorkerTasks, len(o.Cluster[o.WorkerJob]), o.WorkerJob); err != nil {
+		return err
+	}
+	if o.PSTasks, err = defaultTasks(o.PSTasks, len(o.Cluster[o.PSJob]), o.PSJob); err != nil {
+		return err
+	}
+	if o.Backups < 0 || (o.Sync && o.Backups >= len(o.WorkerTasks)) {
 		return fmt.Errorf("train: %d backup workers leave no gradients to aggregate", o.Backups)
 	}
 	if o.CheckpointEvery <= 0 {
@@ -79,6 +93,28 @@ func (o *ReplicatedOptions) withDefaults() error {
 		o.StepRetries = 3
 	}
 	return nil
+}
+
+// defaultTasks fills and validates a job's participating task indices.
+func defaultTasks(tasks []int, slots int, job string) ([]int, error) {
+	if tasks == nil {
+		tasks = make([]int, slots)
+		for i := range tasks {
+			tasks[i] = i
+		}
+		return tasks, nil
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("train: no %q tasks selected", job)
+	}
+	seen := map[int]bool{}
+	for _, idx := range tasks {
+		if idx < 0 || idx >= slots || seen[idx] {
+			return nil, fmt.Errorf("train: invalid %q task selection %v over %d slots", job, tasks, slots)
+		}
+		seen[idx] = true
+	}
+	return tasks, nil
 }
 
 // ReplicaGraph is the graph handle a ModelFn builds into: compute ops land
@@ -159,6 +195,11 @@ type Replicated struct {
 	// checkpoint) without clobbering healthy shards.
 	probeEPs  []graph.Endpoint
 	initNodes []*graph.Node
+	// Restore graph on the chief: per-variable placeholder → Assign, keyed
+	// by variable name, for feeding merged checkpoint state back into the
+	// (possibly re-sharded) PS tasks after a membership change.
+	restoreFeeds map[string]tf.Output
+	restoreOps   map[string]*graph.Node
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -183,23 +224,25 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 	if err := opts.withDefaults(); err != nil {
 		return nil, err
 	}
-	numWorkers := len(opts.Cluster[opts.WorkerJob])
-	psTasks := make([]string, len(opts.Cluster[opts.PSJob]))
-	for i := range psTasks {
-		psTasks[i] = distributed.TaskName(opts.PSJob, i)
+	numWorkers := len(opts.WorkerTasks)
+	psTasks := make([]string, len(opts.PSTasks))
+	for i, idx := range opts.PSTasks {
+		psTasks[i] = distributed.TaskName(opts.PSJob, idx)
 	}
 	r := &Replicated{
-		opts:   opts,
-		m:      numWorkers - opts.Backups,
-		gradCh: make(chan syncPush, 4*numWorkers),
-		quit:   make(chan struct{}),
-		dead:   map[int]bool{},
+		opts:         opts,
+		m:            numWorkers - opts.Backups,
+		gradCh:       make(chan syncPush, 4*numWorkers),
+		quit:         make(chan struct{}),
+		dead:         map[int]bool{},
+		restoreFeeds: map[string]tf.Output{},
+		restoreOps:   map[string]*graph.Node{},
 	}
 	r.cond = sync.NewCond(&r.mu)
 
 	for wi := 0; wi < numWorkers; wi++ {
 		g := tf.NewGraph()
-		wg := g.WithDevice(distributed.TaskName(opts.WorkerJob, wi))
+		wg := g.WithDevice(distributed.TaskName(opts.WorkerJob, opts.WorkerTasks[wi]))
 		rb := &ReplicaGraph{Graph: wg, root: g, psTasks: psTasks}
 		m, err := model(rb)
 		if err != nil {
@@ -260,6 +303,16 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 					fmt.Sprintf("replicate/initialized_%d", i), nil, g.WrapOutput(n.Input(0)))
 				r.probeEPs = append(r.probeEPs, probe.Output(0).Unwrap())
 				r.initNodes = append(r.initNodes, n)
+			}
+			// Restore graph: one placeholder+Assign per parameter (and the
+			// global step), each assign colocated with its variable via the
+			// reference edge. The elastic layer feeds these to migrate
+			// checkpointed shards onto a changed variable→shard mapping —
+			// the assign lands on whichever task owns the variable *now*.
+			for i, v := range append(append([]*tf.Variable{}, rb.vars...), gs) {
+				ph := g.Placeholder(fmt.Sprintf("replicate/restore_%d", i), v.DType(), v.Shape())
+				r.restoreFeeds[v.Name()] = ph
+				r.restoreOps[v.Name()] = v.Assign(ph).Node()
 			}
 		}
 		if err := g.Err(); err != nil {
@@ -360,6 +413,16 @@ func (r *Replicated) GlobalStep() (int64, error) {
 
 // NumReplicas returns the worker-task count n.
 func (r *Replicated) NumReplicas() int { return len(r.reps) }
+
+// Invalidate drops every replica master's cached graph registrations, so
+// the next step re-places and re-registers subgraphs against the tasks'
+// current transports. The elastic layer calls it when a task is replaced
+// at the same slot but a new address.
+func (r *Replicated) Invalidate() {
+	for _, rep := range r.reps {
+		rep.master.Invalidate()
+	}
+}
 
 // feedMap resolves named feeds against a replica's inputs.
 func (rep *replica) feedMap(feeds map[string]*tf.Tensor) (map[graph.Endpoint]*tf.Tensor, error) {
@@ -582,21 +645,56 @@ func (r *Replicated) SaveNow() error {
 
 func (r *Replicated) saveShards(step int64) error {
 	var firstErr error
-	for i := range r.opts.Cluster[r.opts.PSJob] {
+	for _, i := range r.opts.PSTasks {
 		task := distributed.TaskName(r.opts.PSJob, i)
-		tr, err := r.opts.Resolver(task)
-		if err == nil {
-			_, err = tr.SaveShard(&distributed.SaveShardReq{
-				Prefix: r.opts.CheckpointPrefix,
-				Step:   step,
-				Keep:   r.opts.KeepCheckpoints,
-			})
+		var err error
+		// A few attempts absorb transient transport faults (a chaos drop,
+		// a redial window); SaveShard is idempotent per (prefix, step).
+		for attempt := 0; attempt <= r.opts.StepRetries; attempt++ {
+			var tr distributed.Transport
+			if tr, err = r.opts.Resolver(task); err == nil {
+				_, err = tr.SaveShard(&distributed.SaveShardReq{
+					Prefix: r.opts.CheckpointPrefix,
+					Step:   step,
+					Keep:   r.opts.KeepCheckpoints,
+				})
+			}
+			if err == nil || !distributed.IsRetryable(err) {
+				break
+			}
 		}
 		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("train: checkpointing %s: %w", task, err)
 		}
 	}
 	return firstErr
+}
+
+// RestoreVariables assigns checkpointed values to the named variables (and
+// the global step, under its own name) through the chief's restore graph.
+// The elastic layer uses it to migrate shard state after membership changes
+// the variable→shard mapping: each Assign is colocated with its variable,
+// so the value lands on whichever PS task owns the variable now. Unknown
+// names are skipped (a checkpoint may predate a model change) and the
+// count of restored variables is returned.
+func (r *Replicated) RestoreVariables(values map[string]*tf.Tensor) (int, error) {
+	feeds := map[graph.Endpoint]*tf.Tensor{}
+	var targets []*graph.Node
+	for name, t := range values {
+		ph, ok := r.restoreFeeds[name]
+		if !ok {
+			continue
+		}
+		feeds[ph.Unwrap()] = t
+		targets = append(targets, r.restoreOps[name])
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	if _, err := r.reps[0].master.Run(feeds, nil, targets); err != nil {
+		return 0, err
+	}
+	return len(targets), nil
 }
 
 // SaveErr returns the most recent background checkpoint failure, if any.
