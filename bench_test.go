@@ -596,3 +596,90 @@ func BenchmarkConv2D(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPSApplySyncStep is the PR 10 ablation: one synchronous round
+// (m = 1, so no waiting on peers) through the legacy chief-apply path —
+// gradients fetched to the chief, aggregated, and fed back into a PS-side
+// apply graph — versus the shard-apply path, where the worker pushes its
+// gradients to the owning PS shard and the update rule runs next to the
+// variable. The sparse case pushes only the gathered embedding rows
+// (indices + values) of a large table instead of a vocab-sized dense
+// gradient.
+func BenchmarkPSApplySyncStep(b *testing.B) {
+	const (
+		features = 32
+		batch    = 16
+		vocab    = 512
+		dim      = 32
+	)
+	denseModel := func(rb *train.ReplicaGraph) (*train.Model, error) {
+		x := rb.Placeholder("x", tf.Float32, tf.Shape{batch, features})
+		y := rb.Placeholder("y", tf.Float32, tf.Shape{batch, 1})
+		w := rb.Variable("w", tf.NewTensor(tf.Float32, tf.Shape{features, 1}))
+		bias := rb.Variable("b", tf.NewTensor(tf.Float32, tf.Shape{1}))
+		pred := rb.Add(rb.MatMul(x, w.Value()), bias.Value())
+		loss := rb.Mean(rb.Square(rb.Sub(pred, y)), nil, false)
+		return &train.Model{Loss: loss, Inputs: map[string]tf.Output{"x": x, "y": y}}, nil
+	}
+	embModel := func(rb *train.ReplicaGraph) (*train.Model, error) {
+		idx := rb.Placeholder("idx", tf.Int32, tf.Shape{batch})
+		init := tf.NewTensor(tf.Float32, tf.Shape{vocab, dim})
+		for i := 0; i < init.NumElements(); i++ {
+			init.SetFloat(i, float64(i%9)*0.1-0.4)
+		}
+		emb := rb.Variable("emb", init)
+		rows := rb.Gather(emb.Value(), idx)
+		loss := rb.Mean(rb.Square(rows), nil, false)
+		return &train.Model{Loss: loss, Inputs: map[string]tf.Output{"idx": idx}}, nil
+	}
+
+	wTrue := make([]float32, features)
+	for i := range wTrue {
+		wTrue[i] = float32(i%5) - 2
+	}
+	xs, ys := nn.LinearData(1, batch, features, wTrue, 0.5, 0.01)
+	denseFeeds := map[string]*tf.Tensor{"x": xs, "y": ys}
+	idx := make([]int32, batch)
+	for i := range idx {
+		idx[i] = int32((i * 37) % vocab)
+	}
+	embFeeds := map[string]*tf.Tensor{"idx": tf.FromInt32s(tf.Shape{batch}, idx)}
+
+	run := func(b *testing.B, opts train.ReplicatedOptions, model train.ModelFn, feeds map[string]*tf.Tensor) {
+		spec := distributed.ClusterSpec{"ps": {"", ""}, "worker": {""}}
+		cluster := distributed.NewInProcCluster(spec)
+		opts.Cluster = spec
+		opts.Resolver = cluster.Resolver()
+		opts.Sync = true
+		if opts.Optimizer == nil {
+			opts.Optimizer = &train.GradientDescent{LearningRate: 0.01}
+		}
+		r, err := train.NewReplicated(opts, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		if _, err := r.Init(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.TrainStep(0, feeds); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.TrainStep(0, feeds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("chief-apply", func(b *testing.B) {
+		run(b, train.ReplicatedOptions{ChiefApply: true}, denseModel, denseFeeds)
+	})
+	b.Run("ps-apply", func(b *testing.B) {
+		run(b, train.ReplicatedOptions{}, denseModel, denseFeeds)
+	})
+	b.Run("ps-apply-sparse", func(b *testing.B) {
+		run(b, train.ReplicatedOptions{}, embModel, embFeeds)
+	})
+}

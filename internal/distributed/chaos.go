@@ -225,6 +225,14 @@ func (t *chaosTransport) AbortStep(req *AbortStepReq) error {
 	return err
 }
 
+// PushGradients implements Transport. Duplicated deliveries are safe: the
+// first call blocks until the round applies, the retransmit then gets an
+// immediate already-applied ack (the round-tag idempotence the aggregator
+// provides).
+func (t *chaosTransport) PushGradients(req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error) {
+	return chaosCall(t, "PushGradients", func() (*PushGradientsResp, error) { return t.inner.PushGradients(req, abort) })
+}
+
 // SaveShard implements Transport.
 func (t *chaosTransport) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
 	return chaosCall(t, "SaveShard", func() (*SaveShardResp, error) { return t.inner.SaveShard(req) })

@@ -142,6 +142,44 @@ type SaveShardResp struct {
 	Saved int
 }
 
+// GradientPush is one variable's gradient inside a PushGradients request:
+// either a dense tensor or a sparse (indices, values) pair — embedding
+// gradients travel as the rows the step actually touched, never densified
+// to vocabulary size.
+type GradientPush struct {
+	Name    string
+	Dense   *tensor.Tensor
+	Indices *tensor.Tensor
+	Values  *tensor.Tensor
+}
+
+// PushGradientsReq pushes one worker's gradients for the variables resident
+// on the receiving shard, tagged with the absolute round (== the global
+// step the gradients were computed at). The shard aggregates NumFresh
+// contributions per round (m-of-n backup-worker semantics, §4.4 Figure 4c),
+// applies Rule next to its variables, and acknowledges. Rounds at or below
+// the shard's applied round acknowledge immediately, making the RPC
+// idempotent under retransmits and duplicate deliveries.
+type PushGradientsReq struct {
+	Origin   string // pushing worker's task name (per-round dedup key)
+	Round    int64
+	NumFresh int
+	Rule     UpdateRule
+	Grads    []GradientPush
+	// StepName, when non-empty, names the scalar step counter on this shard
+	// to SET to Round+1 after applying (only the shard owning the global
+	// step gets a non-empty StepName).
+	StepName string
+}
+
+// PushGradientsResp acknowledges a push: Round is the shard's applied round
+// after the call; Applied reports whether this call's round was the one
+// just applied (false for stale/duplicate rounds).
+type PushGradientsResp struct {
+	Round   int64
+	Applied bool
+}
+
 // HeartbeatReq probes a task's liveness. The failure detector sends one per
 // probe interval; any task that answers is alive, whatever else it is doing
 // (§4.3: failures are detected by the absence of periodic health messages,
@@ -186,6 +224,7 @@ type Transport interface {
 	RunGraph(req *RunGraphReq) (*RunGraphResp, error)
 	RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTensorResp, error)
 	AbortStep(req *AbortStepReq) error
+	PushGradients(req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error)
 	SaveShard(req *SaveShardReq) (*SaveShardResp, error)
 	Heartbeat(req *HeartbeatReq) (*HeartbeatResp, error)
 	Close() error

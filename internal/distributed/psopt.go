@@ -1,0 +1,479 @@
+package distributed
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// This file is the parameter-server side of PS-applied optimization: the
+// update rule lives next to the variables it updates (the design of the
+// preliminary whitepaper's parameter-server, and of §4.4's queue-coordinated
+// sync training, with the barrier moved from the chief to the shard).
+// Workers push raw gradients — dense tensors or sparse (indices, values)
+// pairs — tagged with an absolute round number; the shard accumulates one
+// round's contributions, applies the configured rule once m fresh
+// contributions arrive (m-of-n backup-worker semantics, Figure 4c), and
+// releases every pusher blocked on that round. Rounds at or below the last
+// applied round acknowledge immediately, which is what makes the RPC
+// idempotent under retransmits, duplicates and lost responses.
+
+// UpdateRule is the serializable optimizer spec a worker ships to the
+// shard. Algo selects the rule; the scalar fields parameterize it. The
+// shard instantiates slot state (momentum/adagrad accumulators) lazily next
+// to the variable, under the slot-variable names the client's graph also
+// declares, so checkpoints and restores see one namespace.
+type UpdateRule struct {
+	Algo         string // "sgd", "momentum", "adagrad"
+	LearningRate float64
+	Decay        float64 // momentum coefficient (momentum only)
+	InitialAccum float64 // adagrad accumulator init (0 means 0.1)
+}
+
+// Validate checks the rule is one the PS knows how to apply.
+func (r UpdateRule) Validate() error {
+	switch r.Algo {
+	case "sgd", "momentum", "adagrad":
+		return nil
+	}
+	return fmt.Errorf("distributed: unknown update rule %q", r.Algo)
+}
+
+// SlotName returns the slot-variable suffix the rule needs, or "" for
+// stateless rules. Matches tf/train's slot naming (<var>/<slot>).
+func (r UpdateRule) SlotName() string {
+	switch r.Algo {
+	case "momentum":
+		return "momentum"
+	case "adagrad":
+		return "adagrad"
+	}
+	return ""
+}
+
+// SlotFill is the value a fresh slot row starts from.
+func (r UpdateRule) SlotFill() float64 {
+	if r.Algo == "adagrad" {
+		if r.InitialAccum != 0 {
+			return r.InitialAccum
+		}
+		return 0.1
+	}
+	return 0
+}
+
+// psRound accumulates one round's gradient contributions on a shard.
+type psRound struct {
+	contrib  map[string]bool // origin task → contributed (dedup)
+	rule     UpdateRule
+	numFresh int
+	stepName string
+	// dense sums, by variable name.
+	dense map[string]*tensor.Tensor
+	// sparse row sums: variable name → row index → summed row values.
+	sparse map[string]map[int][]float64
+	// rowWidth remembers each sparse variable's row width.
+	rowWidth map[string]int
+	waiters  []chan pushResult
+}
+
+type pushResult struct {
+	round   int64
+	applied bool
+	err     error
+}
+
+// psAggregator is the per-worker round-tagged aggregation queue (§4.4,
+// Figure 4b/4c): the synchronization barrier, resident at the shard.
+type psAggregator struct {
+	mu      sync.Mutex
+	applied int64 // highest round already applied; -1 before any
+	pending map[int64]*psRound
+	aborted chan struct{}
+}
+
+func newPSAggregator() *psAggregator {
+	return &psAggregator{
+		applied: -1,
+		pending: map[int64]*psRound{},
+		aborted: make(chan struct{}),
+	}
+}
+
+// reset clears aggregation state (task restart).
+func (a *psAggregator) reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.applied = -1
+	for r, rd := range a.pending {
+		for _, ch := range rd.waiters {
+			ch <- pushResult{err: fmt.Errorf("distributed: %w: aggregator reset", ErrUnavailable)}
+		}
+		delete(a.pending, r)
+	}
+}
+
+// abortAll wakes every blocked pusher with a retryable error (server
+// shutdown). The aggregator stays usable; only the waiters are released.
+func (a *psAggregator) abortAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rd := range a.pending {
+		for _, ch := range rd.waiters {
+			ch <- pushResult{err: fmt.Errorf("distributed: %w: push aborted by shutdown", ErrUnavailable)}
+		}
+		rd.waiters = nil
+	}
+}
+
+// PushGradients implements the service: accumulate the caller's
+// contribution to its round and block until the round is applied (or until
+// the caller aborts / the server shuts down). Rounds already applied
+// acknowledge immediately — the idempotence that makes retransmits and
+// duplicate deliveries harmless.
+func (w *Worker) PushGradients(req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error) {
+	return w.agg.push(w.dev.Resources(), req, abort)
+}
+
+func (a *psAggregator) push(res ResourceHolder, req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error) {
+	if err := req.Rule.Validate(); err != nil {
+		return nil, err
+	}
+	if req.NumFresh <= 0 {
+		return nil, fmt.Errorf("distributed: PushGradients needs NumFresh > 0")
+	}
+	a.mu.Lock()
+	if req.Round <= a.applied {
+		// Stale or retransmitted round: already applied here. Ack without
+		// touching state.
+		applied := a.applied
+		a.mu.Unlock()
+		return &PushGradientsResp{Round: applied, Applied: false}, nil
+	}
+	rd, ok := a.pending[req.Round]
+	if !ok {
+		rd = &psRound{
+			contrib:  map[string]bool{},
+			rule:     req.Rule,
+			numFresh: req.NumFresh,
+			stepName: req.StepName,
+			dense:    map[string]*tensor.Tensor{},
+			sparse:   map[string]map[int][]float64{},
+			rowWidth: map[string]int{},
+		}
+		a.pending[req.Round] = rd
+	}
+	if !rd.contrib[req.Origin] {
+		rd.contrib[req.Origin] = true
+		if err := rd.accumulate(req.Grads); err != nil {
+			delete(rd.contrib, req.Origin)
+			a.mu.Unlock()
+			return nil, err
+		}
+	}
+	// Whether this was a fresh contribution or an in-flight duplicate, the
+	// caller waits for the round to apply.
+	ch := make(chan pushResult, 1)
+	rd.waiters = append(rd.waiters, ch)
+	var applyErr error
+	if len(rd.contrib) >= rd.numFresh {
+		applyErr = a.applyLocked(res, req.Round, rd)
+	}
+	a.mu.Unlock()
+	if applyErr != nil {
+		// applyLocked already broadcast the error to every waiter,
+		// including ours; drain it so the channel logic stays uniform.
+		<-ch
+		return nil, applyErr
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		return &PushGradientsResp{Round: r.round, Applied: r.applied}, nil
+	case <-abort:
+		return nil, fmt.Errorf("distributed: PushGradients aborted")
+	case <-a.aborted:
+		return nil, fmt.Errorf("distributed: %w: push aborted by shutdown", ErrUnavailable)
+	}
+}
+
+// accumulate folds one worker's gradients into the round's sums. Caller
+// holds a.mu.
+func (rd *psRound) accumulate(grads []GradientPush) error {
+	for _, g := range grads {
+		switch {
+		case g.Dense != nil:
+			if sum, ok := rd.dense[g.Name]; ok {
+				if sum.NumElements() != g.Dense.NumElements() {
+					return fmt.Errorf("distributed: gradient shape mismatch for %q", g.Name)
+				}
+				for i, n := 0, sum.NumElements(); i < n; i++ {
+					sum.SetFloat(i, sum.FloatAt(i)+g.Dense.FloatAt(i))
+				}
+			} else {
+				rd.dense[g.Name] = g.Dense.Clone()
+			}
+		case g.Indices != nil && g.Values != nil:
+			rows, ok := rd.sparse[g.Name]
+			if !ok {
+				rows = map[int][]float64{}
+				rd.sparse[g.Name] = rows
+			}
+			n := g.Indices.NumElements()
+			if n == 0 {
+				continue
+			}
+			width := g.Values.NumElements() / n
+			rd.rowWidth[g.Name] = width
+			for i := 0; i < n; i++ {
+				row := g.Indices.IntAt(i)
+				sum := rows[row]
+				if sum == nil {
+					sum = make([]float64, width)
+					rows[row] = sum
+				}
+				for j := 0; j < width; j++ {
+					sum[j] += g.Values.FloatAt(i*width + j)
+				}
+			}
+		default:
+			return fmt.Errorf("distributed: gradient for %q has neither dense nor sparse payload", g.Name)
+		}
+	}
+	return nil
+}
+
+// ResourceHolder is the slice of the device resource manager the aggregator
+// needs: variable lookup by name.
+type ResourceHolder interface {
+	FindOrCreateVariable(name string, dt tensor.DType, shape tensor.Shape) *ops.Variable
+}
+
+// applyLocked applies one complete round: divide the sums by numFresh and
+// run the update rule against the resident variables, then advance the
+// global step (an idempotent SET to round+1, not an increment) and release
+// every waiter whose round is now at or below the applied round. Caller
+// holds a.mu.
+func (a *psAggregator) applyLocked(res ResourceHolder, round int64, rd *psRound) error {
+	err := applyRound(res, round, rd)
+	if err != nil {
+		for _, ch := range rd.waiters {
+			ch <- pushResult{err: err}
+		}
+		delete(a.pending, round)
+		return err
+	}
+	a.applied = round
+	// Release this round's waiters and any straggler blocked on an older
+	// round that can no longer complete (its contributions are stale).
+	for r, prd := range a.pending {
+		if r > a.applied {
+			continue
+		}
+		for _, ch := range prd.waiters {
+			ch <- pushResult{round: a.applied, applied: r == round}
+		}
+		delete(a.pending, r)
+	}
+	return nil
+}
+
+// applyRound runs the update rule for every variable in the round.
+func applyRound(res ResourceHolder, round int64, rd *psRound) error {
+	m := float64(rd.numFresh)
+	for name, sum := range rd.dense {
+		mean := make([]float64, sum.NumElements())
+		for i := range mean {
+			mean[i] = sum.FloatAt(i) / m
+		}
+		if err := applyDense(res, rd.rule, name, mean); err != nil {
+			return err
+		}
+	}
+	for name, rows := range rd.sparse {
+		if err := applySparse(res, rd.rule, name, rows, m); err != nil {
+			return err
+		}
+	}
+	if rd.stepName != "" {
+		gs := res.FindOrCreateVariable(rd.stepName, tensor.Int32, tensor.ScalarShape())
+		// SET to the absolute post-round step, not an increment: replayed or
+		// re-pushed rounds land on the same step value.
+		if err := gs.Assign(tensor.ScalarInt(int32(round + 1))); err != nil {
+			return fmt.Errorf("distributed: advancing %q: %w", rd.stepName, err)
+		}
+	}
+	return nil
+}
+
+// slotFor locates (and lazily initializes) the rule's slot variable for a
+// model variable. Caller guarantees the model variable is initialized.
+func slotFor(res ResourceHolder, rule UpdateRule, v *ops.Variable, name string) (*ops.Variable, error) {
+	slot := res.FindOrCreateVariable(name+"/"+rule.SlotName(), v.DType(), v.Shape())
+	if !slot.Initialized() {
+		init := tensor.New(v.DType(), v.Shape())
+		if fill := rule.SlotFill(); fill != 0 {
+			for i, n := 0, init.NumElements(); i < n; i++ {
+				init.SetFloat(i, fill)
+			}
+		}
+		if err := slot.Assign(init); err != nil {
+			return nil, err
+		}
+	}
+	return slot, nil
+}
+
+// rounder mirrors the elementwise kernels' precision: graph ops on float32
+// tensors compute in float64 and round the result to float32 per op, so
+// the PS-side apply rounds at the same op boundaries and produces the same
+// parameters a chief-apply graph would, bit for bit. Other dtypes keep
+// full float64 arithmetic.
+func rounder(dt tensor.DType) func(float64) float64 {
+	if dt == tensor.Float32 {
+		return func(x float64) float64 { return float64(float32(x)) }
+	}
+	return func(x float64) float64 { return x }
+}
+
+// applyDense applies the rule to a whole variable from its mean gradient.
+func applyDense(res ResourceHolder, rule UpdateRule, name string, mean []float64) error {
+	v := res.FindOrCreateVariable(name, tensor.Float32, nil)
+	if !v.Initialized() {
+		return fmt.Errorf("distributed: push for uninitialized variable %q", name)
+	}
+	lr := rule.LearningRate
+	rnd := rounder(v.DType())
+	// The aggregated mean crosses into the update rule at tensor precision
+	// (chief-apply feeds it as a tensor).
+	mg := make([]float64, len(mean))
+	for i, m := range mean {
+		mg[i] = rnd(m)
+	}
+	switch rule.Algo {
+	case "sgd":
+		return v.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+			for i := range mg {
+				step := rnd(mg[i] * lr)
+				cur.SetFloat(i, cur.FloatAt(i)-step)
+			}
+			return cur, nil
+		})
+	case "momentum":
+		vel, err := slotFor(res, rule, v, name)
+		if err != nil {
+			return err
+		}
+		newVel := make([]float64, len(mg))
+		if err := vel.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+			for i := range mg {
+				decayed := rnd(cur.FloatAt(i) * rule.Decay)
+				newVel[i] = rnd(decayed + mg[i])
+				cur.SetFloat(i, newVel[i])
+			}
+			return cur, nil
+		}); err != nil {
+			return err
+		}
+		return v.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+			for i := range newVel {
+				step := rnd(newVel[i] * lr)
+				cur.SetFloat(i, cur.FloatAt(i)-step)
+			}
+			return cur, nil
+		})
+	case "adagrad":
+		acc, err := slotFor(res, rule, v, name)
+		if err != nil {
+			return err
+		}
+		newAcc := make([]float64, len(mg))
+		if err := acc.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+			for i := range mg {
+				sq := rnd(mg[i] * mg[i])
+				newAcc[i] = rnd(cur.FloatAt(i) + sq)
+				cur.SetFloat(i, newAcc[i])
+			}
+			return cur, nil
+		}); err != nil {
+			return err
+		}
+		return v.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+			for i := range mg {
+				num := rnd(mg[i] * lr)
+				den := rnd(math.Sqrt(newAcc[i]))
+				cur.SetFloat(i, cur.FloatAt(i)-rnd(num/den))
+			}
+			return cur, nil
+		})
+	}
+	return fmt.Errorf("distributed: unknown update rule %q", rule.Algo)
+}
+
+// applySparse applies the rule to just the touched rows of an embedding
+// variable (the "lazy" sparse semantics of tf/train's sparse optimizer
+// paths: untouched rows keep their parameters and slot state unchanged).
+func applySparse(res ResourceHolder, rule UpdateRule, name string, rows map[int][]float64, m float64) error {
+	v := res.FindOrCreateVariable(name, tensor.Float32, nil)
+	if !v.Initialized() {
+		return fmt.Errorf("distributed: push for uninitialized variable %q", name)
+	}
+	lr := rule.LearningRate
+	var slot *ops.Variable
+	if rule.SlotName() != "" {
+		var err error
+		if slot, err = slotFor(res, rule, v, name); err != nil {
+			return err
+		}
+	}
+	rnd := rounder(v.DType())
+	return v.Update(func(cur *tensor.Tensor) (*tensor.Tensor, error) {
+		width := 1
+		if sh := cur.Shape(); len(sh) > 1 {
+			width = sh[1:].NumElements()
+		}
+		for row, sum := range rows {
+			if row < 0 || (row+1)*width > cur.NumElements() {
+				return nil, fmt.Errorf("distributed: sparse push row %d out of range for %q", row, name)
+			}
+			base := row * width
+			switch rule.Algo {
+			case "sgd":
+				for j, s := range sum {
+					step := rnd(rnd(s/m) * lr)
+					cur.SetFloat(base+j, cur.FloatAt(base+j)-step)
+				}
+			case "momentum":
+				if err := slot.Update(func(vel *tensor.Tensor) (*tensor.Tensor, error) {
+					for j, s := range sum {
+						decayed := rnd(vel.FloatAt(base+j) * rule.Decay)
+						nv := rnd(decayed + rnd(s/m))
+						vel.SetFloat(base+j, nv)
+						cur.SetFloat(base+j, cur.FloatAt(base+j)-rnd(nv*lr))
+					}
+					return vel, nil
+				}); err != nil {
+					return nil, err
+				}
+			case "adagrad":
+				if err := slot.Update(func(acc *tensor.Tensor) (*tensor.Tensor, error) {
+					for j, s := range sum {
+						g := rnd(s / m)
+						na := rnd(acc.FloatAt(base+j) + rnd(g*g))
+						acc.SetFloat(base+j, na)
+						cur.SetFloat(base+j, cur.FloatAt(base+j)-rnd(rnd(g*lr)/rnd(math.Sqrt(na))))
+					}
+					return acc, nil
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return cur, nil
+	})
+}

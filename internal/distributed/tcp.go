@@ -24,6 +24,7 @@ type rpcRequest struct {
 	Run    *RunGraphReq
 	Recv   *RecvTensorReq
 	Abort  *AbortStepReq
+	Push   *PushGradientsReq
 	Save   *SaveShardReq
 	HB     *HeartbeatReq
 }
@@ -34,6 +35,7 @@ type rpcResponse struct {
 	Reg  *RegisterGraphResp
 	Run  *RunGraphResp
 	Recv *RecvTensorResp
+	Push *PushGradientsResp
 	Save *SaveShardResp
 	HB   *HeartbeatResp
 }
@@ -142,6 +144,10 @@ func (s *Server) dispatch(req *rpcRequest, connDone <-chan struct{}) *rpcRespons
 		resp.Recv, err = s.worker.RecvTensor(req.Recv, connDone)
 	case "AbortStep":
 		err = s.worker.AbortStep(req.Abort)
+	case "PushGradients":
+		// A push blocks until its round applies; the connection's lifetime
+		// bounds the wait, like RecvTensor.
+		resp.Push, err = s.worker.PushGradients(req.Push, connDone)
 	case "SaveShard":
 		resp.Save, err = s.worker.SaveShard(req.Save)
 	case "Heartbeat":
@@ -298,6 +304,15 @@ func (c *Client) RecvTensor(req *RecvTensorReq, abort <-chan struct{}) (*RecvTen
 func (c *Client) AbortStep(req *AbortStepReq) error {
 	_, err := c.call(&rpcRequest{Method: "AbortStep", Abort: req}, nil)
 	return err
+}
+
+// PushGradients implements Transport.
+func (c *Client) PushGradients(req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error) {
+	resp, err := c.call(&rpcRequest{Method: "PushGradients", Push: req}, abort)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Push, nil
 }
 
 // SaveShard implements Transport.

@@ -28,6 +28,11 @@ func (t *InProc) AbortStep(req *AbortStepReq) error {
 	return t.W.AbortStep(req)
 }
 
+// PushGradients implements Transport.
+func (t *InProc) PushGradients(req *PushGradientsReq, abort <-chan struct{}) (*PushGradientsResp, error) {
+	return t.W.PushGradients(req, abort)
+}
+
 // SaveShard implements Transport.
 func (t *InProc) SaveShard(req *SaveShardReq) (*SaveShardResp, error) {
 	return t.W.SaveShard(req)

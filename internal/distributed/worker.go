@@ -36,6 +36,9 @@ type Worker struct {
 	dev      *device.Device
 	local    *rendezvous.Local
 	resolver Resolver
+	// agg is the PS-side gradient aggregation queue (§4.4): round-tagged
+	// m-of-n accumulation applied next to this task's resident variables.
+	agg *psAggregator
 
 	incarnation int64
 
@@ -68,6 +71,7 @@ func NewWorker(job string, taskIndex int, resolver Resolver) *Worker {
 		dev:         device.NewCPU(job, taskIndex, 0),
 		local:       rendezvous.NewLocal(),
 		resolver:    resolver,
+		agg:         newPSAggregator(),
 		incarnation: workerIncarnations.Add(1),
 		graphs:      map[string]*registeredGraph{},
 		steps:       map[int64]chan struct{}{},
@@ -95,6 +99,7 @@ func (w *Worker) Reset() {
 	defer w.mu.Unlock()
 	w.graphs = map[string]*registeredGraph{}
 	w.dev.Resources().Reset()
+	w.agg.reset()
 }
 
 // AbortAll cancels every running step. Server.Close calls it so shutdown
@@ -109,6 +114,7 @@ func (w *Worker) AbortAll() {
 		}
 	}
 	w.mu.Unlock()
+	w.agg.abortAll()
 }
 
 // parseRef resolves a "name:index" reference in g.

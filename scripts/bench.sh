@@ -9,13 +9,13 @@
 #
 # Usage: scripts/bench.sh [benchtime] [output.json] [benchpattern]
 #   benchtime     go -benchtime value (default 1x: smoke gate)
-#   output        JSON snapshot path (default BENCH_PR7.json)
+#   output        JSON snapshot path (default BENCH_PR10.json)
 #   benchpattern  -bench regexp (default ".": whole suite); use a subset
 #                 with a longer benchtime to refresh the snapshot stably
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-1x}"
-OUT="${2:-BENCH_PR7.json}"
+OUT="${2:-BENCH_PR10.json}"
 PATTERN="${3:-.}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -33,6 +33,9 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
   /^BenchmarkWhileTrainingStep/ { while_ns = $3 }
   /^BenchmarkDistributedStep/ { dist_ns = $3 }
   /^BenchmarkReplicatedTrainingStep/ { repl_ns = $3 }
+  /^BenchmarkPSApplySyncStep\/chief-apply/                 { sync_chief_ns = $3 }
+  /^BenchmarkPSApplySyncStep\/ps-apply-sparse/              { sync_sparse_ns = $3 }
+  /^BenchmarkPSApplySyncStep\/ps-apply/ && !/ps-apply-sparse/ { sync_ps_ns = $3 }
   /^BenchmarkMatMul\/256x256/ {
     for (i = 1; i <= NF; i++) if ($(i + 1) == "GFLOPS") gflops = $i
   }
@@ -82,6 +85,9 @@ awk -v benchtime="$BENCHTIME" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
     if (while_ns != "") lines[n++] = sprintf("  \"while_training_step_ns\": %s", while_ns)
     if (dist_ns != "")  lines[n++] = sprintf("  \"distributed_step_ns\": %s", dist_ns)
     if (repl_ns != "")  lines[n++] = sprintf("  \"replicated_training_step_ns\": %s", repl_ns)
+    if (sync_chief_ns != "")  lines[n++] = sprintf("  \"sync_step_chief_apply_ns\": %s", sync_chief_ns)
+    if (sync_ps_ns != "")     lines[n++] = sprintf("  \"sync_step_ps_apply_ns\": %s", sync_ps_ns)
+    if (sync_sparse_ns != "") lines[n++] = sprintf("  \"sync_step_ps_apply_sparse_ns\": %s", sync_sparse_ns)
     if (gflops != "")   lines[n++] = sprintf("  \"matmul_256x256_gflops\": %s", gflops)
     if (gflops512 != "") lines[n++] = sprintf("  \"matmul_512x512_gflops\": %s", gflops512)
     if (gflops64 != "")  lines[n++] = sprintf("  \"matmul_f64_256x256_gflops\": %s", gflops64)

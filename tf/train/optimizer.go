@@ -9,6 +9,7 @@ package train
 import (
 	"fmt"
 
+	"repro/internal/distributed"
 	"repro/tf"
 )
 
@@ -23,6 +24,37 @@ type Optimizer interface {
 	// (used by data-parallel replication, which aggregates gradients
 	// before applying them, §4.4).
 	ApplyGradients(g *tf.Graph, grads []tf.Gradient, vars []*tf.Variable) (*tf.Operation, error)
+}
+
+// UpdateRuler is implemented by optimizers whose update rule can be
+// serialized and shipped to a parameter-server shard, splitting the
+// optimizer into a worker-side gradient computation and a PS-side apply
+// (the parameter-server design of the preliminary whitepaper; §4.4 moves
+// the sync barrier to the shard with it). Optimizers without a rule —
+// Adam, RMSProp, Adadelta — fall back to chief-side apply.
+type UpdateRuler interface {
+	// UpdateRule returns the serializable spec and true, or ok=false when
+	// the optimizer cannot be applied PS-side.
+	UpdateRule() (distributed.UpdateRule, bool)
+}
+
+// UpdateRule implements UpdateRuler.
+func (o *GradientDescent) UpdateRule() (distributed.UpdateRule, bool) {
+	return distributed.UpdateRule{Algo: "sgd", LearningRate: o.LearningRate}, true
+}
+
+// UpdateRule implements UpdateRuler.
+func (o *Momentum) UpdateRule() (distributed.UpdateRule, bool) {
+	return distributed.UpdateRule{Algo: "momentum", LearningRate: o.LearningRate, Decay: o.Decay}, true
+}
+
+// UpdateRule implements UpdateRuler.
+func (o *Adagrad) UpdateRule() (distributed.UpdateRule, bool) {
+	accInit := o.InitialAccum
+	if accInit <= 0 {
+		accInit = 0.1
+	}
+	return distributed.UpdateRule{Algo: "adagrad", LearningRate: o.LearningRate, InitialAccum: accInit}, true
 }
 
 // minimize is the shared Minimize-via-ApplyGradients implementation.
@@ -43,9 +75,11 @@ func minimize(o Optimizer, g *tf.Graph, loss tf.Output, vars []*tf.Variable) (*t
 // pattern to show optimizers need no privileged runtime support (§4.1).
 // The slot is colocated with v, so in a parameter-server placement the
 // optimizer state lives on the same task as the parameters it adapts
-// (§3.3, §4.1).
+// (§3.3, §4.1). The colocation must win over any ambient device scope the
+// caller's view carries (e.g. an apply graph scoped to one PS task), so the
+// scope is cleared before the hint is attached.
 func slotVar(g *tf.Graph, v *tf.Variable, slot string, fill float64) *tf.Variable {
-	gc := g.ColocateWith(v.Ref().Op())
+	gc := g.WithDevice("").ColocateWith(v.Ref().Op())
 	init := gc.Const(mustFill(v.DType(), v.Shape(), fill))
 	return gc.NewVariable(v.Name()+"/"+slot, init)
 }
@@ -127,15 +161,24 @@ func (o *Momentum) ApplyGradients(g *tf.Graph, grads []tf.Gradient, vars []*tf.V
 		if grad.IsZero() {
 			continue
 		}
-		dense, err := g.DensifyGradient(grad)
-		if err != nil {
-			return nil, err
-		}
 		vel := slotVar(g, v, "momentum", 0)
 		mu := g.Const(scalarOf(v.DType(), o.Decay))
-		newVel := g.Add(g.Mul(vel.Value(), mu), dense)
-		setVel := vel.Assign(newVel)
 		lr := g.Const(scalarOf(v.DType(), o.LearningRate))
+		if sp := grad.Sparse; sp != nil {
+			// Sparse ("lazy") path: decay and update only the touched
+			// velocity rows, leaving untouched rows — parameters and slot
+			// state alike — exactly as they were (§4.2). Like Adagrad's
+			// sparse path, repeated indices within one gradient see the
+			// same pre-update velocity rows.
+			gathered := vel.GatherRows(sp.Indices)
+			newVelRows := g.Add(g.Mul(gathered, mu), sp.Values)
+			setVel := vel.ScatterAdd(sp.Indices, g.Sub(newVelRows, gathered))
+			step := g.Mul(g.IdentityWithControl(newVelRows, setVel), lr)
+			updates = append(updates, v.ScatterSub(sp.Indices, step))
+			continue
+		}
+		newVel := g.Add(g.Mul(vel.Value(), mu), grad.Dense)
+		setVel := vel.Assign(newVel)
 		step := g.Mul(g.IdentityWithControl(newVel, setVel), lr)
 		updates = append(updates, v.AssignSub(step))
 	}

@@ -1,0 +1,430 @@
+package train
+
+// PR 10 test battery: gradients are pushed to the owning PS shard and
+// applied there (PS-apply). The contract is behavioral equivalence with the
+// legacy chief-apply path — same per-step losses, same parameters — while
+// the traffic shape changes: the chief's RunGraph feeds stop carrying
+// gradient tensors (they ride PushGradients instead), and sparse embedding
+// gradients push only the gathered rows.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/distributed"
+	"repro/tf"
+)
+
+// runSyncReplicated drives a 2-job in-process cluster through `rounds`
+// synchronous rounds with every worker participating, returning each
+// worker's per-round losses and the merged PS variable state.
+func runSyncReplicated(t *testing.T, opts ReplicatedOptions, model ModelFn,
+	feeds func(wi, s int) map[string]*tf.Tensor, psTasks, workers, rounds int,
+) ([][]float64, map[string]*tf.Tensor) {
+	t.Helper()
+	spec := distributed.ClusterSpec{
+		"ps":     make([]string, psTasks),
+		"worker": make([]string, workers),
+	}
+	cluster := distributed.NewInProcCluster(spec)
+	opts.Cluster = spec
+	opts.Resolver = cluster.Resolver()
+	opts.Sync = true
+	r, err := NewReplicated(opts, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Init(); err != nil {
+		t.Fatal(err)
+	}
+	losses := make([][]float64, workers)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		losses[wi] = make([]float64, rounds)
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for s := 0; s < rounds; s++ {
+				loss, err := r.TrainStep(wi, feeds(wi, s))
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d round %d: %w", wi, s, err)
+					return
+				}
+				losses[wi][s] = loss
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if step, err := r.GlobalStep(); err != nil || step != int64(rounds) {
+		t.Fatalf("global step = %d, %v; want %d", step, err, rounds)
+	}
+	state := map[string]*tf.Tensor{}
+	for i := 0; i < psTasks; i++ {
+		task := distributed.TaskName("ps", i)
+		for name, v := range cluster.Workers[task].Device().Resources().SnapshotVariables() {
+			state[name] = v
+		}
+	}
+	return losses, state
+}
+
+// TestPSApplyModeSelection pins when the shard-apply path engages: sync
+// training with a rule-expressible optimizer, unless the caller forces
+// ChiefApply. Optimizers without a serializable update rule keep the
+// legacy chief path.
+func TestPSApplyModeSelection(t *testing.T) {
+	build := func(opts ReplicatedOptions) *Replicated {
+		t.Helper()
+		spec := distributed.ClusterSpec{"ps": make([]string, 1), "worker": make([]string, 1)}
+		cluster := distributed.NewInProcCluster(spec)
+		opts.Cluster = spec
+		opts.Resolver = cluster.Resolver()
+		r, err := NewReplicated(opts, repModel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Close)
+		return r
+	}
+	if r := build(ReplicatedOptions{Sync: true, Optimizer: &GradientDescent{LearningRate: 0.1}}); !r.psApply {
+		t.Error("sync SGD should apply on the PS shards")
+	}
+	if r := build(ReplicatedOptions{Sync: true, ChiefApply: true, Optimizer: &GradientDescent{LearningRate: 0.1}}); r.psApply {
+		t.Error("ChiefApply must force the legacy chief path")
+	}
+	if r := build(ReplicatedOptions{Sync: true, Optimizer: &Adam{LearningRate: 0.1}}); r.psApply {
+		t.Error("Adam has no serializable update rule; it must use chief apply")
+	}
+	if r := build(ReplicatedOptions{Optimizer: &GradientDescent{LearningRate: 0.1}}); r.psApply {
+		t.Error("async training does not use the push-apply path")
+	}
+}
+
+// TestPSApplySyncMatchesChiefApply is the PR 10 equivalence bar: for every
+// rule-expressible optimizer, applying on the PS shard must reproduce the
+// chief-apply losses and parameters — the PS-side apply engine mirrors the
+// graph kernels' float32 rounding, so the trajectories agree step for step.
+func TestPSApplySyncMatchesChiefApply(t *testing.T) {
+	const (
+		rounds    = 12
+		tolerance = 1e-6
+	)
+	feeds := func(wi, s int) map[string]*tf.Tensor { return repFeeds(int64(wi*1000 + s)) }
+	for _, tc := range []struct {
+		name string
+		opt  func() Optimizer
+	}{
+		{"sgd", func() Optimizer { return &GradientDescent{LearningRate: 0.1} }},
+		{"momentum", func() Optimizer { return &Momentum{LearningRate: 0.02, Decay: 0.9} }},
+		{"adagrad", func() Optimizer { return &Adagrad{LearningRate: 0.5} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			chiefLosses, chiefState := runSyncReplicated(t,
+				ReplicatedOptions{Optimizer: tc.opt(), ChiefApply: true}, repModel, feeds, 2, 2, rounds)
+			psLosses, psState := runSyncReplicated(t,
+				ReplicatedOptions{Optimizer: tc.opt()}, repModel, feeds, 2, 2, rounds)
+			for wi := range chiefLosses {
+				for s := range chiefLosses[wi] {
+					want, got := chiefLosses[wi][s], psLosses[wi][s]
+					if diff := math.Abs(got - want); diff > tolerance*math.Max(1, math.Abs(want)) {
+						t.Errorf("worker %d round %d: ps-apply loss %.9f, chief-apply %.9f", wi, s, got, want)
+					}
+				}
+			}
+			for name, want := range chiefState {
+				got := psState[name]
+				if got == nil {
+					t.Errorf("ps-apply lost variable %q", name)
+					continue
+				}
+				for i := 0; i < want.NumElements(); i++ {
+					if diff := math.Abs(got.FloatAt(i) - want.FloatAt(i)); diff > tolerance {
+						t.Errorf("%s[%d]: ps-apply %.9f, chief-apply %.9f", name, i, got.FloatAt(i), want.FloatAt(i))
+					}
+				}
+			}
+		})
+	}
+}
+
+const (
+	embVocab = 8
+	embDim   = 4
+	embBatch = 3
+)
+
+func embInitial() *tf.Tensor {
+	init := tf.NewTensor(tf.Float32, tf.Shape{embVocab, embDim})
+	for i := 0; i < init.NumElements(); i++ {
+		init.SetFloat(i, float64(i%7)*0.25-0.5)
+	}
+	return init
+}
+
+// embModel gathers a few embedding rows, so the table's gradient is sparse
+// (indices, values) — the shape of traffic §4.2 optimizes.
+func embModel(rb *ReplicaGraph) (*Model, error) {
+	idx := rb.Placeholder("idx", tf.Int32, tf.Shape{embBatch})
+	emb := rb.Variable("emb", embInitial())
+	rows := rb.Gather(emb.Value(), idx)
+	loss := rb.Mean(rb.Square(rows), nil, false)
+	return &Model{Loss: loss, Inputs: map[string]tf.Output{"idx": idx}}, nil
+}
+
+func embFeeds(wi, s int) map[string]*tf.Tensor {
+	v := []int32{
+		int32((wi + s) % embVocab),
+		int32((wi*3 + s*2 + 1) % embVocab),
+		int32((s*5 + 2) % embVocab),
+	}
+	return map[string]*tf.Tensor{"idx": tf.FromInt32s(tf.Shape{embBatch}, v)}
+}
+
+// TestPSApplySyncMatchesChiefApplySparse: sparse pushes (row indices +
+// values, no densify) must land on the same parameters the chief-apply
+// path's densified means produce.
+func TestPSApplySyncMatchesChiefApplySparse(t *testing.T) {
+	const (
+		rounds    = 10
+		tolerance = 1e-6
+	)
+	for _, tc := range []struct {
+		name string
+		opt  func() Optimizer
+	}{
+		{"sgd", func() Optimizer { return &GradientDescent{LearningRate: 0.1} }},
+		{"adagrad", func() Optimizer { return &Adagrad{LearningRate: 0.2} }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			chiefLosses, chiefState := runSyncReplicated(t,
+				ReplicatedOptions{Optimizer: tc.opt(), ChiefApply: true}, embModel, embFeeds, 2, 2, rounds)
+			psLosses, psState := runSyncReplicated(t,
+				ReplicatedOptions{Optimizer: tc.opt()}, embModel, embFeeds, 2, 2, rounds)
+			for wi := range chiefLosses {
+				for s := range chiefLosses[wi] {
+					want, got := chiefLosses[wi][s], psLosses[wi][s]
+					if diff := math.Abs(got - want); diff > tolerance*math.Max(1, math.Abs(want)) {
+						t.Errorf("worker %d round %d: ps-apply loss %.9f, chief-apply %.9f", wi, s, got, want)
+					}
+				}
+			}
+			want, got := chiefState["emb"], psState["emb"]
+			if want == nil || got == nil {
+				t.Fatalf("embedding table missing: chief=%v ps=%v", want != nil, got != nil)
+			}
+			for i := 0; i < want.NumElements(); i++ {
+				if diff := math.Abs(got.FloatAt(i) - want.FloatAt(i)); diff > tolerance {
+					t.Errorf("emb[%d]: ps-apply %.9f, chief-apply %.9f", i, got.FloatAt(i), want.FloatAt(i))
+				}
+			}
+		})
+	}
+}
+
+// trafficCounter tallies gradient-shaped tensors crossing the master's
+// transports, distinguishing RunGraph feeds (the legacy chief-apply
+// vehicle) from PushGradients payloads (the PR 10 vehicle).
+type trafficCounter struct {
+	mu sync.Mutex
+	// markFeeds counts RunGraph feed tensors with exactly markElems
+	// elements — sized to match only the big variable's gradient.
+	markElems int
+	markFeeds int
+	// Per-variable push payload sizes.
+	pushDense  map[string]int // total dense elements pushed
+	pushValues map[string]int // total sparse value elements pushed
+	pushCalls  int
+}
+
+func (c *trafficCounter) resolver(inner distributed.Resolver) distributed.Resolver {
+	return func(task string) (distributed.Transport, error) {
+		tr, err := inner(task)
+		if err != nil {
+			return nil, err
+		}
+		return &countingTransport{Transport: tr, c: c}, nil
+	}
+}
+
+type countingTransport struct {
+	distributed.Transport
+	c *trafficCounter
+}
+
+func (t *countingTransport) RunGraph(req *distributed.RunGraphReq) (*distributed.RunGraphResp, error) {
+	t.c.mu.Lock()
+	for _, f := range req.Feeds {
+		if f != nil && f.NumElements() == t.c.markElems {
+			t.c.markFeeds++
+		}
+	}
+	t.c.mu.Unlock()
+	return t.Transport.RunGraph(req)
+}
+
+func (t *countingTransport) PushGradients(req *distributed.PushGradientsReq, abort <-chan struct{}) (*distributed.PushGradientsResp, error) {
+	t.c.mu.Lock()
+	t.c.pushCalls++
+	for _, gp := range req.Grads {
+		if gp.Dense != nil {
+			t.c.pushDense[gp.Name] += gp.Dense.NumElements()
+		}
+		if gp.Values != nil {
+			t.c.pushValues[gp.Name] += gp.Values.NumElements()
+		}
+	}
+	t.c.mu.Unlock()
+	return t.Transport.PushGradients(req, abort)
+}
+
+const bigDim = 64
+
+// bigModel makes the weight gradient uniquely identifiable by size: w's
+// gradient has exactly bigDim elements, while the input feeds (8×64, 8×1)
+// and the bias gradient (1) have other sizes.
+func bigModel(rb *ReplicaGraph) (*Model, error) {
+	x := rb.Placeholder("x", tf.Float32, tf.Shape{repBatch, bigDim})
+	y := rb.Placeholder("y", tf.Float32, tf.Shape{repBatch, 1})
+	w := rb.Variable("w", tf.NewTensor(tf.Float32, tf.Shape{bigDim, 1}))
+	b := rb.Variable("b", tf.NewTensor(tf.Float32, tf.Shape{1}))
+	pred := rb.Add(rb.MatMul(x, w.Value()), b.Value())
+	loss := rb.Mean(rb.Square(rb.Sub(pred, y)), nil, false)
+	return &Model{Loss: loss, Inputs: map[string]tf.Output{"x": x, "y": y}}, nil
+}
+
+func bigFeeds(wi, s int) map[string]*tf.Tensor {
+	xs := tf.NewTensor(tf.Float32, tf.Shape{repBatch, bigDim})
+	ys := tf.NewTensor(tf.Float32, tf.Shape{repBatch, 1})
+	for i := 0; i < xs.NumElements(); i++ {
+		xs.SetFloat(i, float64((i+wi*31+s*7)%11)*0.1-0.5)
+	}
+	for i := 0; i < ys.NumElements(); i++ {
+		ys.SetFloat(i, float64((i+wi*13+s*3)%5)*0.2-0.4)
+	}
+	return map[string]*tf.Tensor{"x": xs, "y": ys}
+}
+
+// runCountedSync is runSyncReplicated with the master's transports wrapped
+// by a trafficCounter.
+func runCountedSync(t *testing.T, opts ReplicatedOptions, model ModelFn,
+	feeds func(wi, s int) map[string]*tf.Tensor, markElems, workers, rounds int,
+) *trafficCounter {
+	t.Helper()
+	c := &trafficCounter{markElems: markElems, pushDense: map[string]int{}, pushValues: map[string]int{}}
+	spec := distributed.ClusterSpec{"ps": make([]string, 1), "worker": make([]string, workers)}
+	cluster := distributed.NewInProcCluster(spec)
+	opts.Cluster = spec
+	opts.Resolver = c.resolver(cluster.Resolver())
+	opts.Sync = true
+	r, err := NewReplicated(opts, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Init(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for s := 0; s < rounds; s++ {
+				if _, err := r.TrainStep(wi, feeds(wi, s)); err != nil {
+					errCh <- fmt.Errorf("worker %d round %d: %w", wi, s, err)
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPSApplyChiefTrafficCarriesNoGradients pins the traffic claim of PR
+// 10: in chief-apply mode every round ships the weight's mean gradient as a
+// RunGraph feed; in PS-apply mode no RunGraph feed is gradient-shaped —
+// gradients reach the shard only inside PushGradients.
+func TestPSApplyChiefTrafficCarriesNoGradients(t *testing.T) {
+	const (
+		workers = 2
+		rounds  = 3
+	)
+	opt := func() Optimizer { return &GradientDescent{LearningRate: 0.05} }
+
+	chief := runCountedSync(t, ReplicatedOptions{Optimizer: opt(), ChiefApply: true},
+		bigModel, bigFeeds, bigDim, workers, rounds)
+	if chief.markFeeds != rounds {
+		t.Errorf("chief-apply fed the weight gradient %d times over %d rounds; the legacy path feeds it once per round",
+			chief.markFeeds, rounds)
+	}
+	if chief.pushCalls != 0 {
+		t.Errorf("chief-apply issued %d PushGradients calls; want none", chief.pushCalls)
+	}
+
+	ps := runCountedSync(t, ReplicatedOptions{Optimizer: opt()},
+		bigModel, bigFeeds, bigDim, workers, rounds)
+	if ps.markFeeds != 0 {
+		t.Errorf("ps-apply fed %d gradient-shaped tensors through RunGraph; gradients must ride PushGradients only",
+			ps.markFeeds)
+	}
+	if want := workers * rounds * bigDim; ps.pushDense["w"] != want {
+		t.Errorf("ps-apply pushed %d dense elements for w, want %d (every worker, every round)",
+			ps.pushDense["w"], want)
+	}
+}
+
+// TestSparsePushTrafficScalesWithGatheredRows: an embedding push carries
+// the gathered rows' values (batch×dim elements), never a vocab-sized dense
+// tensor — per-step traffic scales with the lookups, not the table (§4.2).
+func TestSparsePushTrafficScalesWithGatheredRows(t *testing.T) {
+	const (
+		bigVocab = 128
+		workers  = 2
+		rounds   = 4
+	)
+	model := func(rb *ReplicaGraph) (*Model, error) {
+		idx := rb.Placeholder("idx", tf.Int32, tf.Shape{embBatch})
+		init := tf.NewTensor(tf.Float32, tf.Shape{bigVocab, embDim})
+		for i := 0; i < init.NumElements(); i++ {
+			init.SetFloat(i, float64(i%13)*0.1-0.6)
+		}
+		emb := rb.Variable("emb", init)
+		rows := rb.Gather(emb.Value(), idx)
+		loss := rb.Mean(rb.Square(rows), nil, false)
+		return &Model{Loss: loss, Inputs: map[string]tf.Output{"idx": idx}}, nil
+	}
+	feeds := func(wi, s int) map[string]*tf.Tensor {
+		v := []int32{
+			int32((wi*17 + s) % bigVocab),
+			int32((wi + s*29 + 3) % bigVocab),
+			int32((s*41 + 7) % bigVocab),
+		}
+		return map[string]*tf.Tensor{"idx": tf.FromInt32s(tf.Shape{embBatch}, v)}
+	}
+	c := runCountedSync(t, ReplicatedOptions{Optimizer: &GradientDescent{LearningRate: 0.1}},
+		model, feeds, bigVocab*embDim, workers, rounds)
+	if c.pushDense["emb"] != 0 {
+		t.Errorf("embedding gradient was densified on the wire: %d dense elements pushed", c.pushDense["emb"])
+	}
+	if want := workers * rounds * embBatch * embDim; c.pushValues["emb"] != want {
+		t.Errorf("pushed %d sparse value elements for emb, want %d (= workers×rounds×batch×dim; vocab×dim would be %d per push)",
+			c.pushValues["emb"], want, bigVocab*embDim)
+	}
+	if c.markFeeds != 0 {
+		t.Errorf("%d vocab-sized tensors crossed RunGraph feeds; embedding traffic must scale with the gathered rows", c.markFeeds)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/distributed"
 	"repro/internal/graph"
+	"repro/internal/tensor"
 	"repro/tf"
 )
 
@@ -46,6 +47,14 @@ type ReplicatedOptions struct {
 	// step aggregates the first m = n−b gradients (§4.4).
 	Sync    bool
 	Backups int
+	// ChiefApply forces the legacy sync topology: workers return gradients
+	// to the chief, which aggregates and applies them through its apply
+	// graph. By default a sync trainer whose optimizer implements
+	// UpdateRuler pushes gradients to the owning PS shard instead, where
+	// the update rule is applied next to the variables (PS-side apply);
+	// the chief then never carries gradient traffic. Optimizers without a
+	// serializable rule always use chief apply.
+	ChiefApply bool
 	// CheckpointPrefix enables fault tolerance: every CheckpointEvery
 	// global steps each PS task writes its shard to
 	// "<prefix>.<job>-<task>-<step>" and keeps KeepCheckpoints files.
@@ -130,6 +139,7 @@ type ReplicaGraph struct {
 	root      *tf.Graph
 	psTasks   []string
 	vars      []*tf.Variable
+	varTasks  []string // PS task owning each variable, by vars index
 	nextPS    int
 }
 
@@ -139,6 +149,7 @@ func (rb *ReplicaGraph) Variable(name string, initial *tf.Tensor) *tf.Variable {
 	rb.nextPS++
 	v := rb.root.WithDevice(dev).NewVariableFromTensor(name, initial)
 	rb.vars = append(rb.vars, v)
+	rb.varTasks = append(rb.varTasks, dev)
 	return v
 }
 
@@ -169,8 +180,17 @@ type replica struct {
 
 	// Async: optimizer update + global-step bump, run by every TrainStep.
 	trainTargets []*graph.Node
-	// Sync: the replica only computes gradients; the chief applies them.
+	// Sync: the replica only computes gradients; the chief (or the PS
+	// shards) applies them. Sparse gradients occupy two endpoints
+	// (indices, values) — see gradPlan.
 	gradEPs []graph.Endpoint
+}
+
+// gradSlot records how one variable's gradient travels in the fetched
+// tuple: one dense tensor, or an (indices, values) pair for sparse
+// gradients that must reach the shard without densifying.
+type gradSlot struct {
+	sparse bool
 }
 
 type syncPush struct {
@@ -186,6 +206,18 @@ type Replicated struct {
 	opts ReplicatedOptions
 	reps []*replica
 	m    int // sync: gradients aggregated per step (n − Backups)
+
+	// PS-side apply (sync mode, UpdateRuler optimizers): workers push
+	// gradients to the owning shard, which aggregates and applies them
+	// next to the variables. rule is the serialized update rule; varTask
+	// maps each variable index to its PS task; gradPlan describes the
+	// fetched gradient tuple's layout (shared by the chief aggregation
+	// path, which uses it to keep embedding gradients sparse on the wire).
+	psApply  bool
+	rule     distributed.UpdateRule
+	varTask  []string
+	gradPlan []gradSlot
+	psTasks  []string
 
 	// Chief-side apply graph (sync mode), built on replica 0.
 	applyFeeds   []tf.Output
@@ -232,6 +264,7 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 	r := &Replicated{
 		opts:         opts,
 		m:            numWorkers - opts.Backups,
+		psTasks:      psTasks,
 		gradCh:       make(chan syncPush, 4*numWorkers),
 		quit:         make(chan struct{}),
 		dead:         map[int]bool{},
@@ -239,6 +272,13 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 		restoreOps:   map[string]*graph.Node{},
 	}
 	r.cond = sync.NewCond(&r.mu)
+	if opts.Sync && !opts.ChiefApply {
+		if ur, ok := opts.Optimizer.(UpdateRuler); ok {
+			if rule, ok := ur.UpdateRule(); ok {
+				r.rule, r.psApply = rule, true
+			}
+		}
+	}
 
 	for wi := 0; wi < numWorkers; wi++ {
 		g := tf.NewGraph()
@@ -255,16 +295,36 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 		gs := psView.NewVariableFromTensor(globalStepName, tf.ScalarInt(0))
 		rep := &replica{g: g, model: m, vars: rb.vars, lossEP: m.Loss.Unwrap(), stepEP: gs.Value().Unwrap()}
 
+		var slotVars []*tf.Variable
 		if opts.Sync {
-			// The replica computes (dense) gradients; applying them is the
-			// chief's job, so every worker reads the same parameter
-			// version per round (Figure 4b).
-			eps, err := replicaGradients(wg, m.Loss, rb.vars)
+			// The replica computes gradients — dense tensors, or sparse
+			// (indices, values) pairs left undensified so embedding
+			// updates can land as scatter ops. Applying them is the
+			// shards' job (PS-apply) or the chief's (legacy), so every
+			// worker reads the same parameter version per round
+			// (Figure 4b).
+			eps, plan, err := replicaGradients(wg, m.Loss, rb.vars)
 			if err != nil {
 				return nil, fmt.Errorf("train: replica %d gradients: %w", wi, err)
 			}
 			rep.gradEPs = eps
 			if wi == 0 {
+				r.gradPlan = plan
+				r.varTask = rb.varTasks
+			}
+			if wi == 0 && r.psApply {
+				// PS-apply: no apply graph — the shards run the update
+				// rule themselves. Declare the rule's slot variables next
+				// to their parameters so initialization, probes, restores
+				// and checkpoint merges cover the PS-resident optimizer
+				// state the shards will update.
+				if r.rule.SlotName() != "" {
+					for _, v := range rb.vars {
+						slotVars = append(slotVars, slotVar(g, v, r.rule.SlotName(), r.rule.SlotFill()))
+					}
+				}
+			}
+			if wi == 0 && !r.psApply {
 				// Chief apply graph: placeholders carry the aggregated
 				// means into the optimizer update. The update math is
 				// scoped to the PS (Figure 4b: the parameter servers
@@ -304,12 +364,14 @@ func NewReplicated(opts ReplicatedOptions, model ModelFn) (*Replicated, error) {
 				r.probeEPs = append(r.probeEPs, probe.Output(0).Unwrap())
 				r.initNodes = append(r.initNodes, n)
 			}
-			// Restore graph: one placeholder+Assign per parameter (and the
-			// global step), each assign colocated with its variable via the
+			// Restore graph: one placeholder+Assign per parameter, per
+			// declared optimizer slot (PS-apply mode) and the global
+			// step, each assign colocated with its variable via the
 			// reference edge. The elastic layer feeds these to migrate
 			// checkpointed shards onto a changed variable→shard mapping —
 			// the assign lands on whichever task owns the variable *now*.
-			for i, v := range append(append([]*tf.Variable{}, rb.vars...), gs) {
+			restoreList := append(append([]*tf.Variable{}, rb.vars...), slotVars...)
+			for i, v := range append(restoreList, gs) {
 				ph := g.Placeholder(fmt.Sprintf("replicate/restore_%d", i), v.DType(), v.Shape())
 				r.restoreFeeds[v.Name()] = ph
 				r.restoreOps[v.Name()] = v.Assign(ph).Node()
@@ -338,31 +400,36 @@ func bumpAfter(psView *tf.Graph, gs *tf.Variable, update *tf.Operation) *tf.Oper
 	return gs.AssignAdd(one)
 }
 
-// replicaGradients builds the dense per-variable gradient endpoints of loss.
-func replicaGradients(g *tf.Graph, loss tf.Output, vars []*tf.Variable) ([]graph.Endpoint, error) {
+// replicaGradients builds the per-variable gradient endpoints of loss and
+// the plan describing their layout. Dense gradients occupy one endpoint;
+// sparse gradients stay sparse — two endpoints (indices, values) — so an
+// embedding gradient travels as the rows the step touched, never expanded
+// to vocabulary size (§4.2). Zero gradients contribute dense zeros so the
+// tuple stays positional (and so stateful rules, e.g. momentum decay,
+// still see the variable every round).
+func replicaGradients(g *tf.Graph, loss tf.Output, vars []*tf.Variable) ([]graph.Endpoint, []gradSlot, error) {
 	xs := make([]tf.Output, len(vars))
 	for i, v := range vars {
 		xs[i] = v.Value()
 	}
 	grads, err := g.Gradients([]tf.Output{loss}, xs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	eps := make([]graph.Endpoint, len(grads))
+	var eps []graph.Endpoint
+	plan := make([]gradSlot, len(grads))
 	for i, gr := range grads {
-		if gr.IsZero() {
-			// The loss does not touch this variable: contribute zeros so
-			// the aggregated tuple stays positional.
-			eps[i] = g.Const(tf.NewTensor(vars[i].DType(), vars[i].Shape())).Unwrap()
-			continue
+		switch {
+		case gr.IsZero():
+			eps = append(eps, g.Const(tf.NewTensor(vars[i].DType(), vars[i].Shape())).Unwrap())
+		case gr.Sparse != nil:
+			plan[i].sparse = true
+			eps = append(eps, gr.Sparse.Indices.Unwrap(), gr.Sparse.Values.Unwrap())
+		default:
+			eps = append(eps, gr.Dense.Unwrap())
 		}
-		d, err := g.DensifyGradient(gr)
-		if err != nil {
-			return nil, err
-		}
-		eps[i] = d.Unwrap()
 	}
-	return eps, g.Err()
+	return eps, plan, g.Err()
 }
 
 // Init prepares the shared state variable by variable: initialized state —
@@ -396,8 +463,17 @@ func (r *Replicated) Init() (int64, error) {
 	r.lastSaved = step
 	r.saveMu.Unlock()
 	if r.opts.Sync {
-		r.wg.Add(1)
-		go r.aggregate()
+		if r.psApply {
+			// PS-apply: rounds are absolute (round k produces global step
+			// k+1), so start from the restored step. The barrier lives at
+			// the shards; no chief aggregator runs.
+			r.mu.Lock()
+			r.round = step
+			r.mu.Unlock()
+		} else {
+			r.wg.Add(1)
+			go r.aggregate()
+		}
 	}
 	return step, nil
 }
@@ -501,6 +577,40 @@ func (r *Replicated) TrainStep(wi int, feeds map[string]*tf.Tensor) (float64, er
 	r.mu.Lock()
 	delete(r.dead, wi) // the replica recovered
 	r.mu.Unlock()
+
+	if r.psApply {
+		// Push the gradients to the owning shards, which aggregate this
+		// round m-of-n and apply the update rule next to the variables
+		// (§4.4 with the barrier at the shard). The push blocks until the
+		// round applies, so returning here IS the barrier.
+		applied, perr := r.pushGradients(wi, round, out[1:])
+		if perr != nil {
+			if terr := r.terminal(); terr != nil {
+				return 0, terr
+			}
+			// A failed push is a failed contribution: account it like a
+			// failed replica step so a dead shard (no round can ever
+			// complete) fails the trainer instead of wedging the
+			// survivors in their pushes.
+			r.mu.Lock()
+			r.dead[wi] = true
+			deadNow := len(r.dead)
+			r.mu.Unlock()
+			if deadNow > r.opts.Backups {
+				r.fail(fmt.Errorf("train: %d replicas failing with %d backup workers (last, replica %d): %w",
+					deadNow, r.opts.Backups, wi, perr))
+			}
+			return 0, perr
+		}
+		r.mu.Lock()
+		if applied+1 > r.round {
+			r.round = applied + 1
+		}
+		r.mu.Unlock()
+		r.maybeSave(applied + 1)
+		return out[0].FloatAt(0), nil
+	}
+
 	select {
 	case r.gradCh <- syncPush{round: round, grads: out[1:]}:
 	case <-r.quit:
@@ -553,10 +663,103 @@ func (r *Replicated) fail(err error) {
 	}
 }
 
-// aggregate is the chief loop of Figure 4c: per round, take the first m
-// fresh gradient tuples (dropping tuples computed against an older
-// parameter version), apply their mean through the optimizer, advance the
-// global step, and release the barrier.
+// pushGradients sends one worker's round contribution to every owning PS
+// shard in parallel and blocks until each shard has applied the round (or
+// acknowledged it as already applied). It returns the highest applied round
+// reported by the shards. The shard owning the global step always gets a
+// push — StepName tells it to advance the counter — even when no variable
+// lives there.
+func (r *Replicated) pushGradients(wi int, round int64, grads []*tf.Tensor) (int64, error) {
+	origin := distributed.TaskName(r.opts.WorkerJob, r.opts.WorkerTasks[wi])
+	reqs := map[string]*distributed.PushGradientsReq{}
+	reqFor := func(task string) *distributed.PushGradientsReq {
+		req, ok := reqs[task]
+		if !ok {
+			req = &distributed.PushGradientsReq{
+				Origin:   origin,
+				Round:    round,
+				NumFresh: r.m,
+				Rule:     r.rule,
+			}
+			reqs[task] = req
+		}
+		return req
+	}
+	pos := 0
+	for i, sl := range r.gradPlan {
+		req := reqFor(r.varTask[i])
+		name := r.reps[0].vars[i].Name()
+		if sl.sparse {
+			req.Grads = append(req.Grads, distributed.GradientPush{
+				Name: name, Indices: grads[pos], Values: grads[pos+1]})
+			pos += 2
+		} else {
+			req.Grads = append(req.Grads, distributed.GradientPush{Name: name, Dense: grads[pos]})
+			pos++
+		}
+	}
+	reqFor(r.psTasks[0]).StepName = globalStepName
+
+	type pushOut struct {
+		applied int64
+		err     error
+	}
+	results := make(chan pushOut, len(reqs))
+	for task, req := range reqs {
+		go func(task string, req *distributed.PushGradientsReq) {
+			applied, err := r.pushOne(task, req)
+			results <- pushOut{applied, err}
+		}(task, req)
+	}
+	applied, firstErr := int64(-1), error(nil)
+	for range reqs {
+		po := <-results
+		if po.err != nil && firstErr == nil {
+			firstErr = po.err
+		}
+		if po.applied > applied {
+			applied = po.applied
+		}
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return applied, nil
+}
+
+// pushOne delivers one shard's push, retrying transport failures (a chaos
+// drop, a redial window after a shard restart) — the push is idempotent per
+// (origin, round), so a retry whose original was executed just collects the
+// already-applied acknowledgement.
+func (r *Replicated) pushOne(task string, req *distributed.PushGradientsReq) (int64, error) {
+	var err error
+	for attempt := 0; attempt <= r.opts.StepRetries; attempt++ {
+		select {
+		case <-r.quit:
+			return 0, fmt.Errorf("train: replicated trainer stopping")
+		default:
+		}
+		var tr distributed.Transport
+		if tr, err = r.opts.Resolver(task); err == nil {
+			var resp *distributed.PushGradientsResp
+			if resp, err = tr.PushGradients(req, r.quit); err == nil {
+				return resp.Round, nil
+			}
+		}
+		if !distributed.IsRetryable(err) {
+			break
+		}
+	}
+	return 0, fmt.Errorf("train: pushing gradients to %s: %w", task, err)
+}
+
+// aggregate is the chief loop of Figure 4c (legacy chief-apply mode): per
+// round, take the first m fresh gradient tuples (dropping tuples computed
+// against an older parameter version), apply their mean through the
+// optimizer, advance the global step, and release the barrier. Sparse
+// gradients arrive as (indices, values) pairs and are folded into the dense
+// mean here — the only densification left on this path, and it happens at
+// the chief, never in a replica's graph.
 func (r *Replicated) aggregate() {
 	defer r.wg.Done()
 	chief := r.reps[0]
@@ -577,16 +780,14 @@ func (r *Replicated) aggregate() {
 				continue // stale: a backup worker's gradients from an earlier round
 			}
 			if sums == nil {
-				sums = make([]*tf.Tensor, len(p.grads))
-				for i, t := range p.grads {
-					sums[i] = t.Clone()
+				sums = make([]*tf.Tensor, len(r.gradPlan))
+				for i, v := range chief.vars {
+					sums[i] = tf.NewTensor(v.DType(), v.Shape())
 				}
-			} else {
-				for i, t := range p.grads {
-					for j := 0; j < t.NumElements(); j++ {
-						sums[i].SetFloat(j, sums[i].FloatAt(j)+t.FloatAt(j))
-					}
-				}
+			}
+			if err := r.accumulate(sums, p.grads); err != nil {
+				r.fail(err)
+				return
 			}
 			fresh++
 		}
@@ -608,6 +809,28 @@ func (r *Replicated) aggregate() {
 		r.mu.Unlock()
 		r.maybeSave(int64(out[0].IntAt(0)))
 	}
+}
+
+// accumulate folds one gradient tuple into the per-variable sums following
+// the plan: dense tensors add elementwise, sparse (indices, values) pairs
+// scatter-add into just their rows.
+func (r *Replicated) accumulate(sums []*tf.Tensor, grads []*tf.Tensor) error {
+	pos := 0
+	for i, sl := range r.gradPlan {
+		if sl.sparse {
+			if err := tensor.ScatterAddInPlace(sums[i], grads[pos], grads[pos+1]); err != nil {
+				return fmt.Errorf("train: aggregating sparse gradient %d: %w", i, err)
+			}
+			pos += 2
+			continue
+		}
+		t := grads[pos]
+		pos++
+		for j := 0; j < t.NumElements(); j++ {
+			sums[i].SetFloat(j, sums[i].FloatAt(j)+t.FloatAt(j))
+		}
+	}
+	return nil
 }
 
 // maybeSave checkpoints every PS shard when the global step has advanced
@@ -693,6 +916,17 @@ func (r *Replicated) RestoreVariables(values map[string]*tf.Tensor) (int, error)
 	}
 	if _, err := r.reps[0].master.Run(feeds, nil, targets); err != nil {
 		return 0, err
+	}
+	if r.psApply {
+		// Rounds are absolute in PS-apply mode: re-anchor to the restored
+		// global step so the next pushes carry the right tag.
+		step, err := r.GlobalStep()
+		if err != nil {
+			return 0, err
+		}
+		r.mu.Lock()
+		r.round = step
+		r.mu.Unlock()
 	}
 	return len(targets), nil
 }

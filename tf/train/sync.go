@@ -40,10 +40,23 @@ type SyncReplicas struct {
 	tokenFill  *tf.Operation
 	gradShapes []tf.Shape
 	gradDTypes []tf.DType
+
+	// Sparse gradients bypass the queue: each rides a shared accumulator
+	// variable colocated with its parameter (ScatterAdd of just the
+	// touched rows, §4.2), which the chief reads, means and zeroes per
+	// step. denseSlot maps each variable index to its position in the
+	// queue tuple, or −1 for sparse gradients.
+	denseSlot []int
+	accReads  []tf.Output   // accumulator value per variable (sparse only)
+	accReset  *tf.Operation // zeroes every accumulator after the apply
 }
 
 // NewSyncReplicas builds the coordination graph. grads are the worker's
-// computed gradients for vars (densified); opt applies the aggregated mean.
+// computed gradients for vars; opt applies the aggregated mean. Dense
+// gradients travel through the gradient queue; sparse gradients accumulate
+// into shared ScatterAdd accumulators without densifying, which requires
+// numBackup == 0 (a stale backup contribution cannot be discarded once
+// added to a shared accumulator — the queue's step tags cannot help it).
 func NewSyncReplicas(g *tf.Graph, opt Optimizer, grads []tf.Gradient, vars []*tf.Variable,
 	numWorkers, numBackup int) (*SyncReplicas, error) {
 	if numWorkers < 1 {
@@ -57,7 +70,10 @@ func NewSyncReplicas(g *tf.Graph, opt Optimizer, grads []tf.Gradient, vars []*tf
 	s.globalStep = g.NewVariableFromTensor("sync/global_step", tf.ScalarInt(0))
 	s.stepValue = s.globalStep.Value()
 
-	dense := make([]tf.Output, len(grads))
+	dense := make([]tf.Output, 0, len(grads))
+	s.denseSlot = make([]int, len(grads))
+	s.accReads = make([]tf.Output, len(grads))
+	var scatters, accZeros []*tf.Operation
 	s.gradDTypes = make([]tf.DType, 0, len(grads)+1)
 	s.gradShapes = make([]tf.Shape, 0, len(grads)+1)
 	// Component 0 carries the worker's view of the global step so the
@@ -65,11 +81,26 @@ func NewSyncReplicas(g *tf.Graph, opt Optimizer, grads []tf.Gradient, vars []*tf
 	s.gradDTypes = append(s.gradDTypes, tf.Int32)
 	s.gradShapes = append(s.gradShapes, tf.Shape{})
 	for i, gr := range grads {
+		if sp := gr.Sparse; sp != nil && !gr.IsZero() {
+			if numBackup > 0 {
+				return nil, fmt.Errorf("train: SyncReplicas cannot combine sparse gradients with backup workers; densify the gradient or set numBackup to 0")
+			}
+			s.denseSlot[i] = -1
+			gc := g.ColocateWith(vars[i].Ref().Op())
+			acc := gc.NewVariable(fmt.Sprintf("sync/acc_%d", i),
+				gc.Const(mustFill(vars[i].DType(), vars[i].Shape(), 0)))
+			scatters = append(scatters, acc.ScatterAdd(sp.Indices, sp.Values))
+			s.accReads[i] = acc.Value()
+			accZeros = append(accZeros,
+				acc.Assign(gc.Const(mustFill(vars[i].DType(), vars[i].Shape(), 0))))
+			continue
+		}
 		d, err := g.DensifyGradient(gr)
 		if err != nil {
 			return nil, err
 		}
-		dense[i] = d
+		s.denseSlot[i] = len(dense)
+		dense = append(dense, d)
 		s.gradDTypes = append(s.gradDTypes, vars[i].DType())
 		s.gradShapes = append(s.gradShapes, vars[i].Shape())
 	}
@@ -80,7 +111,18 @@ func NewSyncReplicas(g *tf.Graph, opt Optimizer, grads []tf.Gradient, vars []*tf
 
 	// Worker ops: tag gradients with the current step and enqueue; block
 	// on the token queue before the next step (the barrier of Fig. 4b).
-	comps := append([]tf.Output{s.stepValue}, dense...)
+	// The step tag carries control dependencies on the sparse scatters, so
+	// a worker's accumulator contribution is in place before its tuple can
+	// be dequeued — by the time the chief holds m fresh tuples, the
+	// accumulators hold exactly m contributions.
+	stepComp := s.stepValue
+	if len(scatters) > 0 {
+		stepComp = g.IdentityWithControl(s.stepValue, scatters...)
+	}
+	if len(accZeros) > 0 {
+		s.accReset = g.Group("sync/acc_reset", accZeros...)
+	}
+	comps := append([]tf.Output{stepComp}, dense...)
 	s.enqueueGrads = s.gradQueue.Enqueue(comps...)
 	tok := s.tokenQueue.Dequeue()
 	s.dequeueToken = g.Group("sync/wait_token", tok[0].Op())
@@ -129,7 +171,7 @@ func (s *SyncReplicas) ChiefStep(sess *tf.Session) error {
 	}
 	current := int32(stepT.IntAt(0))
 
-	sums := make([]*tf.Tensor, len(s.gradFeeds))
+	sums := make([]*tf.Tensor, len(s.gradDTypes)-1)
 	fresh := 0
 	for fresh < s.NumWorkers {
 		tuple, err := sess.Run(nil, s.dequeueOne)
@@ -150,8 +192,21 @@ func (s *SyncReplicas) ChiefStep(sess *tf.Session) error {
 		}
 		fresh++
 	}
-	feeds := make(map[tf.Output]*tf.Tensor, len(sums))
-	for i, t := range sums {
+	feeds := make(map[tf.Output]*tf.Tensor, len(s.gradFeeds))
+	for i := range s.gradFeeds {
+		var t *tf.Tensor
+		if slot := s.denseSlot[i]; slot >= 0 {
+			t = sums[slot]
+		} else {
+			// Sparse gradient: the m contributions already sit summed in
+			// the shared accumulator (the enqueue's control dependency
+			// guarantees each is in place before its tuple was visible).
+			at, err := sess.Fetch1(nil, s.accReads[i])
+			if err != nil {
+				return err
+			}
+			t = at.Clone()
+		}
 		for j := 0; j < t.NumElements(); j++ {
 			t.SetFloat(j, t.FloatAt(j)/float64(s.NumWorkers))
 		}
@@ -159,6 +214,11 @@ func (s *SyncReplicas) ChiefStep(sess *tf.Session) error {
 	}
 	if _, err := sess.Run(feeds, nil, s.applyOp); err != nil {
 		return err
+	}
+	if s.accReset != nil {
+		if err := sess.RunTargets(s.accReset); err != nil {
+			return err
+		}
 	}
 	if err := sess.RunTargets(s.bumpStep); err != nil {
 		return err

@@ -122,6 +122,55 @@ func TestSGDSparseUpdatesOnlyTouchGatheredRows(t *testing.T) {
 	}
 }
 
+// TestMomentumSparseUpdatesOnlyTouchGatheredRows: Momentum's sparse path
+// keeps lazy velocity semantics — only gathered rows accumulate velocity
+// and move; untouched rows keep both their parameters and their slot state
+// bit-identical.
+func TestMomentumSparseUpdatesOnlyTouchGatheredRows(t *testing.T) {
+	g := tf.NewGraph()
+	emb := g.NewVariableFromTensor("emb", tf.FromFloat32s(tf.Shape{4, 2}, []float32{
+		1, 1, 2, 2, 3, 3, 4, 4,
+	}))
+	idx := g.Const([]int32{1})
+	rows := g.Gather(emb.Value(), idx)
+	loss := g.Sum(rows, nil, false) // d/d emb[1] = 1
+	opt := &train.Momentum{LearningRate: 0.5, Decay: 0.9}
+	trainOp, err := opt.Minimize(g, loss, []*tf.Variable{emb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tf.NewSession(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.RunTargets(g.InitOp()); err != nil {
+		t.Fatal(err)
+	}
+	const steps = 2
+	for i := 0; i < steps; i++ {
+		if err := sess.RunTargets(trainOp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replay the velocity recurrence in float32, like the graph computes it:
+	// v ← v·decay + grad; row ← row − v·lr.
+	var vel, want1 float32 = 0, 2
+	for i := 0; i < steps; i++ {
+		vel = vel*0.9 + 1
+		want1 -= vel * 0.5
+	}
+	out, err := sess.Fetch1(nil, emb.Value())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 1, want1, want1, 3, 3, 4, 4}
+	for i, v := range out.Float32s() {
+		if v != want[i] {
+			t.Fatalf("after sparse Momentum emb = %v, want %v", out.Float32s(), want)
+		}
+	}
+}
+
 func TestAdagradSparseAccumulatorStaysSparse(t *testing.T) {
 	g := tf.NewGraph()
 	emb := g.NewVariableFromTensor("emb", tf.FromFloat32s(tf.Shape{3, 1}, []float32{1, 1, 1}))
